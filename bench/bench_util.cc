@@ -1,0 +1,63 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "cv/cross_validate.h"
+
+namespace bhpo {
+namespace bench {
+
+BenchConfig GetBenchConfig() {
+  BenchConfig config;
+  const char* full = std::getenv("BHPO_BENCH_FULL");
+  if (full != nullptr && std::string(full) == "1") {
+    config.full = true;
+    config.seeds = 5;
+    config.scale = 1.0;
+    config.max_iter = 60;
+  }
+  // Fine-grained overrides for intermediate sizings.
+  if (const char* seeds = std::getenv("BHPO_BENCH_SEEDS")) {
+    config.seeds = std::max(1, std::atoi(seeds));
+  }
+  if (const char* scale = std::getenv("BHPO_BENCH_SCALE")) {
+    double value = std::atof(scale);
+    if (value > 0.0) config.scale = value;
+  }
+  if (const char* max_iter = std::getenv("BHPO_BENCH_MAXITER")) {
+    config.max_iter = std::max(1, std::atoi(max_iter));
+  }
+  return config;
+}
+
+Stats ComputeStats(const std::vector<double>& values) {
+  Stats s;
+  MeanStddev(values, &s.mean, &s.stddev);
+  return s;
+}
+
+std::string FmtStats(const Stats& stats, double factor, int precision) {
+  return FormatDouble(stats.mean * factor, precision) + "±" +
+         FormatDouble(stats.stddev * factor, precision);
+}
+
+std::string Pad(const std::string& text, size_t width) {
+  if (text.size() >= width) return text;
+  return text + std::string(width - text.size(), ' ');
+}
+
+void PrintHeader(const std::string& experiment, const std::string& notes,
+                 const BenchConfig& config) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("%s\n", notes.c_str());
+  std::printf("sizing: %s (seeds=%d, scale=%.2f, max_iter=%d)"
+              " — set BHPO_BENCH_FULL=1 for the full run\n",
+              config.full ? "FULL" : "quick", config.seeds, config.scale,
+              config.max_iter);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace bhpo

@@ -1,0 +1,46 @@
+#ifndef BHPO_BENCH_BENCH_UTIL_H_
+#define BHPO_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace bhpo {
+namespace bench {
+
+// Workload sizing shared by all harnesses. The defaults are tuned for a
+// single-core CI container; BHPO_BENCH_FULL=1 switches to a configuration
+// closer to the paper's (more seeds, larger datasets, longer training).
+struct BenchConfig {
+  bool full = false;
+  int seeds = 2;        // Paper: 5 repetitions.
+  double scale = 0.25;  // Dataset scale factor (1.0 = our full stand-ins).
+  int max_iter = 20;    // MLP training epochs per fit.
+};
+
+BenchConfig GetBenchConfig();
+
+struct Stats {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+Stats ComputeStats(const std::vector<double>& values);
+
+// "96.87±0.35" with the value scaled by `factor` (100 for percent).
+std::string FmtStats(const Stats& stats, double factor = 100.0,
+                     int precision = 2);
+
+// Simple fixed-width column formatting for the report tables.
+std::string Pad(const std::string& text, size_t width);
+
+// Prints the standard harness banner: what is being reproduced and under
+// which sizing.
+void PrintHeader(const std::string& experiment, const std::string& notes,
+                 const BenchConfig& config);
+
+}  // namespace bench
+}  // namespace bhpo
+
+#endif  // BHPO_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,99 @@
+#include "bench/cv_experiment.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "hpo/config_space.h"
+#include "hpo/optimizer.h"
+#include "metrics/ndcg.h"
+
+namespace bhpo {
+namespace bench {
+
+std::vector<Configuration> CvExperimentConfigs() {
+  return ConfigSpace::PaperSpace(2).EnumerateGrid();
+}
+
+GroundTruth::GroundTruth(const TrainTestSplit& data,
+                         const std::vector<Configuration>& configs,
+                         int max_iter, EvalMetric metric) {
+  FactoryOptions options;
+  options.max_iter = max_iter;
+  options.seed = 17;  // Fixed: ground truth is a property of the dataset.
+  metrics_.reserve(configs.size());
+  for (const Configuration& config : configs) {
+    auto final = EvaluateFinalConfig(config, data.train, data.test, metric,
+                                     options);
+    // A diverging configuration is simply a bad one.
+    metrics_.push_back(final.ok() ? final->test_metric
+                                  : (data.train.is_classification() ? 0.0
+                                                                    : -1.0));
+  }
+}
+
+CvExperimentResult RunCvExperiment(const TrainTestSplit& data,
+                                   const std::vector<Configuration>& configs,
+                                   const GroundTruth& truth,
+                                   const CvExperimentSpec& spec,
+                                   uint64_t base_seed) {
+  std::vector<double> recommended_metric;
+  std::vector<double> ndcg_scores;
+
+  for (int seed = 0; seed < spec.seeds; ++seed) {
+    StrategyOptions options;
+    options.factory.max_iter = spec.max_iter;
+    options.factory.seed = base_seed + static_cast<uint64_t>(seed);
+    options.metric = spec.metric;
+
+    std::unique_ptr<EvalStrategy> strategy;
+    switch (spec.scheme) {
+      case FoldScheme::kRandom:
+        strategy = std::make_unique<VanillaStrategy>(options,
+                                                     /*stratified=*/false);
+        break;
+      case FoldScheme::kStratified:
+        strategy = std::make_unique<VanillaStrategy>(options,
+                                                     /*stratified=*/true);
+        break;
+      case FoldScheme::kGrouped: {
+        GroupingOptions grouping;
+        grouping.num_groups = spec.num_groups;
+        grouping.min_cluster_ratio = spec.min_cluster_ratio;
+        grouping.seed = base_seed + 1000 + static_cast<uint64_t>(seed);
+        ScoringOptions scoring;
+        scoring.use_variance = spec.use_variance_metric;
+        scoring.alpha = spec.alpha;
+        scoring.beta_max = spec.beta_max;
+        auto created = EnhancedStrategy::Create(
+            data.train, grouping, spec.fold_options, scoring, options);
+        BHPO_CHECK(created.ok()) << created.status().ToString();
+        strategy = std::move(created).value();
+        break;
+      }
+    }
+
+    size_t budget = static_cast<size_t>(
+        spec.subset_ratio * static_cast<double>(data.train.n()));
+    Rng rng(base_seed + 7919 * static_cast<uint64_t>(seed + 1));
+
+    std::vector<double> scores(configs.size());
+    for (size_t c = 0; c < configs.size(); ++c) {
+      auto eval = strategy->Evaluate(configs[c], data.train, budget, &rng);
+      BHPO_CHECK(eval.ok()) << eval.status().ToString();
+      scores[c] = eval->score;
+    }
+
+    size_t best = static_cast<size_t>(
+        std::max_element(scores.begin(), scores.end()) - scores.begin());
+    recommended_metric.push_back(truth.metric_of(best));
+    ndcg_scores.push_back(Ndcg(scores, truth.metrics()));
+  }
+
+  CvExperimentResult result;
+  result.test_metric = ComputeStats(recommended_metric);
+  result.ndcg = ComputeStats(ndcg_scores);
+  return result;
+}
+
+}  // namespace bench
+}  // namespace bhpo

@@ -1,0 +1,87 @@
+#ifndef BHPO_BENCH_CV_EXPERIMENT_H_
+#define BHPO_BENCH_CV_EXPERIMENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/split.h"
+#include "hpo/eval_strategy.h"
+
+namespace bhpo {
+namespace bench {
+
+// Shared machinery for the paper's cross-validation experiments
+// (Section IV-C and the three independent experiments of IV-D): score the
+// 18-configuration space (hidden_layer_sizes x activation) with some fold
+// scheme / metric on a subset, recommend the top-scored configuration, and
+// judge the recommendation against ground truth (each configuration's test
+// metric when trained on the full training set).
+
+enum class FoldScheme {
+  kRandom,      // random KFold + uniform subset + mean metric
+  kStratified,  // stratified KFold + stratified subset + mean metric
+  kGrouped,     // group sampling + general/special folds (Operation 1+2)
+};
+
+struct CvExperimentSpec {
+  FoldScheme scheme = FoldScheme::kStratified;
+  // Only used by kGrouped.
+  GenFoldsOptions fold_options;
+  // Equation 3 on/off (only meaningful for kGrouped in the paper, but
+  // allowed everywhere for ablations).
+  bool use_variance_metric = false;
+  // Fraction of the training set used for evaluation.
+  double subset_ratio = 0.1;
+  int seeds = 2;
+  int max_iter = 20;
+  EvalMetric metric = EvalMetric::kAuto;
+  // Design-choice knobs for the grouped scheme (the ablation bench sweeps
+  // these; the paper's defaults otherwise).
+  int num_groups = 2;            // v
+  double min_cluster_ratio = 0.8;  // r_group
+  double alpha = 0.1;
+  double beta_max = 10.0;
+};
+
+struct CvExperimentResult {
+  Stats test_metric;  // Test metric of the recommended configuration.
+  Stats ndcg;         // Ranking quality over all 18 configurations.
+};
+
+// Ground truth for one dataset: per-configuration test metric after
+// training on the full training set. Deterministic per (dataset, configs);
+// cache and reuse across schemes/ratios.
+class GroundTruth {
+ public:
+  GroundTruth(const TrainTestSplit& data,
+              const std::vector<Configuration>& configs, int max_iter,
+              EvalMetric metric);
+
+  const std::vector<double>& metrics() const { return metrics_; }
+  double metric_of(size_t config_index) const {
+    return metrics_.at(config_index);
+  }
+
+ private:
+  std::vector<double> metrics_;
+};
+
+// Runs the experiment: per seed, score every configuration under the
+// scheme, recommend argmax, and aggregate recommended-config test metric +
+// nDCG across seeds.
+CvExperimentResult RunCvExperiment(const TrainTestSplit& data,
+                                   const std::vector<Configuration>& configs,
+                                   const GroundTruth& truth,
+                                   const CvExperimentSpec& spec,
+                                   uint64_t base_seed);
+
+// The 18-configuration space of Section IV-C (Table III truncated to
+// hidden_layer_sizes x activation).
+std::vector<Configuration> CvExperimentConfigs();
+
+}  // namespace bench
+}  // namespace bhpo
+
+#endif  // BHPO_BENCH_CV_EXPERIMENT_H_

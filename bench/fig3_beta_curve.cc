@@ -1,0 +1,47 @@
+// Reproduces Figure 3: the beta(gamma) sampling-size weight (Equation 2)
+// as a function of the sampling ratio gamma (percent), for beta_max = 10
+// as in the paper's figure, plus two extra beta_max settings to show the
+// clipping thresholds move.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "hpo/beta_weight.h"
+
+int main() {
+  using bhpo::BetaGammaMax;
+  using bhpo::BetaGammaMin;
+  using bhpo::BetaWeight;
+
+  std::printf("Figure 3 — beta(gamma) line figure (Equation 2)\n");
+  std::printf("Expected shape: monotone decreasing, symmetric about 50%%,\n");
+  std::printf("beta(gamma_min)=beta_max, beta(50)=beta_max/2, "
+              "beta(gamma_max)=0.\n\n");
+
+  for (double beta_max : {10.0, 5.0, 2.0}) {
+    std::printf("beta_max = %.0f: gamma_min = %.3f%%, gamma_max = %.3f%%\n",
+                beta_max, BetaGammaMin(beta_max), BetaGammaMax(beta_max));
+    std::printf("  %-10s %-10s\n", "gamma(%)", "beta");
+    for (double gamma : {0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 40.0,
+                         50.0, 60.0, 70.0, 80.0, 90.0, 95.0, 98.0, 99.0,
+                         99.5, 100.0}) {
+      std::printf("  %-10.1f %-10.4f\n", gamma, BetaWeight(gamma, beta_max));
+    }
+    std::printf("\n");
+  }
+
+  // ASCII rendition of the paper's figure for beta_max = 10.
+  std::printf("ASCII plot (beta_max = 10):\n");
+  for (int row = 10; row >= 0; --row) {
+    std::printf("%5.1f |", row * 1.0);
+    for (int col = 0; col <= 50; ++col) {
+      double gamma = col * 2.0;
+      double beta = BetaWeight(gamma, 10.0);
+      std::printf("%c", beta >= row - 0.5 && beta < row + 0.5 ? '*' : ' ');
+    }
+    std::printf("\n");
+  }
+  std::printf("      +%s\n", std::string(51, '-').c_str());
+  std::printf("       0%%        25%%        50%%        75%%       100%%\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Anytime-quality trajectories: cumulative instance budget consumed vs the
+// true test accuracy of the incumbent (the configuration currently ranked
+// best at the highest budget evaluated so far), for SHA vs SHA+. This
+// renders the paper's efficiency argument — avoiding wasted budget on
+// low-quality configurations — as a convergence curve instead of a single
+// end-time number.
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/paper_datasets.h"
+#include "hpo/config_space.h"
+#include "hpo/sha.h"
+
+namespace {
+
+using namespace bhpo;          // NOLINT: harness binary.
+using namespace bhpo::bench;   // NOLINT
+
+// Replays a search history into (instances consumed, incumbent truth)
+// checkpoints. The incumbent is the best-scored evaluation at the highest
+// budget seen so far; its "truth" is the configuration's test metric when
+// trained on the full train split.
+std::vector<std::pair<size_t, double>> Replay(
+    const HpoResult& result, const TrainTestSplit& data,
+    const FactoryOptions& factory,
+    std::map<std::string, double>* truth_cache) {
+  std::vector<std::pair<size_t, double>> curve;
+  size_t consumed = 0;
+  size_t best_budget = 0;
+  double best_score = 0.0;
+  const Configuration* incumbent = nullptr;
+
+  for (const EvaluationRecord& rec : result.history) {
+    consumed += rec.budget;
+    if (rec.budget > best_budget ||
+        (rec.budget == best_budget && rec.score > best_score) ||
+        incumbent == nullptr) {
+      best_budget = rec.budget;
+      best_score = rec.score;
+      incumbent = &rec.config;
+    }
+    std::string key = incumbent->Key();
+    auto it = truth_cache->find(key);
+    if (it == truth_cache->end()) {
+      auto final = EvaluateFinalConfig(*incumbent, data.train, data.test,
+                                       EvalMetric::kAccuracy, factory);
+      it = truth_cache->emplace(key, final.ok() ? final->test_metric : 0.0)
+               .first;
+    }
+    curve.emplace_back(consumed, it->second);
+  }
+  return curve;
+}
+
+}  // namespace
+
+int main() {
+  BenchConfig bc = GetBenchConfig();
+  PrintHeader("Anytime trajectories — incumbent test accuracy vs instances "
+              "consumed (SHA vs SHA+, australian)",
+              "162 configurations; checkpoints at ~every 10% of the total "
+              "instance bill",
+              bc);
+
+  TrainTestSplit data = MakePaperDataset("australian", 42, bc.scale * 2)
+                            .value();
+  ConfigSpace space = ConfigSpace::PaperSpace(4);
+  StrategyOptions options;
+  options.factory.max_iter = bc.max_iter;
+  options.factory.seed = 1;
+
+  std::map<std::string, double> truth_cache;
+  for (bool enhanced : {false, true}) {
+    std::unique_ptr<EvalStrategy> strategy;
+    if (enhanced) {
+      GroupingOptions grouping;
+      grouping.seed = 2;
+      ScoringOptions scoring;
+      scoring.use_variance = true;
+      strategy = EnhancedStrategy::Create(data.train, grouping,
+                                          GenFoldsOptions(), scoring,
+                                          options)
+                     .value();
+    } else {
+      strategy = std::make_unique<VanillaStrategy>(options);
+    }
+    SuccessiveHalving sha(space.EnumerateGrid(), strategy.get());
+    Rng rng(3);
+    HpoResult result = sha.Optimize(data.train, &rng).value();
+    auto curve = Replay(result, data, options.factory, &truth_cache);
+
+    std::printf("\n%s (total instances %zu, %zu evaluations)\n",
+                enhanced ? "SHA+" : "SHA", result.total_instances,
+                result.num_evaluations);
+    std::printf("%-14s %-12s\n", "instances", "incumbent testAcc(%)");
+    size_t step = std::max<size_t>(1, curve.size() / 10);
+    for (size_t i = 0; i < curve.size(); i += step) {
+      std::printf("%-14zu %.2f\n", curve[i].first, 100 * curve[i].second);
+    }
+    std::printf("%-14zu %.2f   (final)\n", curve.back().first,
+                100 * curve.back().second);
+  }
+
+  std::printf("\nexpected shape: both rise as budget accumulates; SHA+ "
+              "reaches its plateau with fewer wasted\ninstances because "
+              "unreliable early rungs discard fewer good configurations.\n");
+  return 0;
+}

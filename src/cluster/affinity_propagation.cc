@@ -1,0 +1,154 @@
+#include "cluster/affinity_propagation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cluster/kmeans.h"
+
+namespace bhpo {
+
+Result<AffinityPropagationResult> AffinityPropagation(
+    const Matrix& points, const AffinityPropagationOptions& options) {
+  size_t n = points.rows();
+  if (n == 0) {
+    return Status::InvalidArgument("affinity propagation on an empty matrix");
+  }
+  if (options.damping < 0.5 || options.damping >= 1.0) {
+    return Status::InvalidArgument("damping must be in [0.5, 1)");
+  }
+  if (options.max_iterations < 1) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+
+  // Similarity matrix: s(i,k) = -||x_i - x_k||^2.
+  Matrix s(n, n);
+  std::vector<double> off_diagonal;
+  off_diagonal.reserve(n * (n - 1));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t k = 0; k < n; ++k) {
+      if (i == k) continue;
+      double sim =
+          -SquaredDistance(points.Row(i), points.Row(k), points.cols());
+      s(i, k) = sim;
+      off_diagonal.push_back(sim);
+    }
+  }
+  double preference = options.preference;
+  if (options.auto_preference) {
+    if (off_diagonal.empty()) {
+      preference = 0.0;
+    } else {
+      std::nth_element(off_diagonal.begin(),
+                       off_diagonal.begin() + off_diagonal.size() / 2,
+                       off_diagonal.end());
+      preference = off_diagonal[off_diagonal.size() / 2];
+    }
+  }
+  for (size_t i = 0; i < n; ++i) s(i, i) = preference;
+
+  Matrix r(n, n);  // Responsibilities.
+  Matrix a(n, n);  // Availabilities.
+  std::vector<char> is_exemplar(n, 0), prev_exemplar(n, 0);
+
+  AffinityPropagationResult result;
+  int stable = 0;
+  int iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    // Responsibility update:
+    // r(i,k) <- s(i,k) - max_{k' != k} (a(i,k') + s(i,k')).
+    for (size_t i = 0; i < n; ++i) {
+      double best = -std::numeric_limits<double>::infinity();
+      double second = best;
+      size_t best_k = 0;
+      for (size_t k = 0; k < n; ++k) {
+        double v = a(i, k) + s(i, k);
+        if (v > best) {
+          second = best;
+          best = v;
+          best_k = k;
+        } else if (v > second) {
+          second = v;
+        }
+      }
+      for (size_t k = 0; k < n; ++k) {
+        double competitor = k == best_k ? second : best;
+        double value = s(i, k) - competitor;
+        r(i, k) = options.damping * r(i, k) + (1 - options.damping) * value;
+      }
+    }
+
+    // Availability update:
+    // a(i,k) <- min(0, r(k,k) + sum_{i' not in {i,k}} max(0, r(i',k)))
+    // a(k,k) <- sum_{i' != k} max(0, r(i',k)).
+    for (size_t k = 0; k < n; ++k) {
+      double positive_sum = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        if (i != k) positive_sum += std::max(0.0, r(i, k));
+      }
+      for (size_t i = 0; i < n; ++i) {
+        double value;
+        if (i == k) {
+          value = positive_sum;
+        } else {
+          value = std::min(0.0, r(k, k) + positive_sum -
+                                    std::max(0.0, r(i, k)));
+        }
+        a(i, k) = options.damping * a(i, k) + (1 - options.damping) * value;
+      }
+    }
+
+    // Exemplars: points where r(k,k) + a(k,k) > 0.
+    for (size_t k = 0; k < n; ++k) {
+      is_exemplar[k] = r(k, k) + a(k, k) > 0.0;
+    }
+    if (is_exemplar == prev_exemplar) {
+      if (++stable >= options.convergence_iterations) {
+        result.converged = true;
+        ++iter;
+        break;
+      }
+    } else {
+      stable = 0;
+      prev_exemplar = is_exemplar;
+    }
+  }
+  result.iterations = iter;
+
+  for (size_t k = 0; k < n; ++k) {
+    if (is_exemplar[k]) result.exemplars.push_back(k);
+  }
+  if (result.exemplars.empty()) {
+    // Degenerate (e.g. hard-negative preference): the point with the best
+    // self-evidence becomes the lone exemplar.
+    size_t best = 0;
+    double best_value = -std::numeric_limits<double>::infinity();
+    for (size_t k = 0; k < n; ++k) {
+      double v = r(k, k) + a(k, k);
+      if (v > best_value) {
+        best_value = v;
+        best = k;
+      }
+    }
+    result.exemplars.push_back(best);
+  }
+
+  // Assign every point to its most similar exemplar (exemplars to
+  // themselves).
+  result.assignments.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    double best_sim = -std::numeric_limits<double>::infinity();
+    for (size_t e = 0; e < result.exemplars.size(); ++e) {
+      size_t k = result.exemplars[e];
+      double sim = i == k ? std::numeric_limits<double>::infinity()
+                          : s(i, k);
+      if (sim > best_sim) {
+        best_sim = sim;
+        result.assignments[i] = static_cast<int>(e);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace bhpo

@@ -1,0 +1,44 @@
+#ifndef BHPO_CLUSTER_AFFINITY_PROPAGATION_H_
+#define BHPO_CLUSTER_AFFINITY_PROPAGATION_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace bhpo {
+
+// Affinity propagation (Frey & Dueck 2007), the third clusterer Section
+// III-A lists for the grouping step. Exchanges responsibility/availability
+// messages over a similarity matrix (negative squared Euclidean distance)
+// until a stable set of exemplars emerges; the cluster count is implied by
+// the preference rather than fixed up front.
+struct AffinityPropagationOptions {
+  // Self-similarity (preference). 0 = auto: the median pairwise
+  // similarity, the standard default yielding a moderate cluster count.
+  // Lower values produce fewer clusters. Keep manual preferences within a
+  // few orders of magnitude of the similarities: preferences that dwarf
+  // them (e.g. -1e6 against similarities of -100) destabilize the message
+  // passing — a known AP pathology.
+  double preference = 0.0;
+  bool auto_preference = true;
+  // Message damping in [0.5, 1).
+  double damping = 0.7;
+  int max_iterations = 200;
+  // Stop when exemplars are unchanged for this many iterations.
+  int convergence_iterations = 15;
+};
+
+struct AffinityPropagationResult {
+  std::vector<size_t> exemplars;     // Row ids of cluster exemplars.
+  std::vector<int> assignments;      // Size n, values in [0, #exemplars).
+  int iterations = 0;
+  bool converged = false;
+};
+
+Result<AffinityPropagationResult> AffinityPropagation(
+    const Matrix& points, const AffinityPropagationOptions& options = {});
+
+}  // namespace bhpo
+
+#endif  // BHPO_CLUSTER_AFFINITY_PROPAGATION_H_

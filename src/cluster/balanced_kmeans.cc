@@ -1,0 +1,92 @@
+#include "cluster/balanced_kmeans.h"
+
+#include <numeric>
+
+namespace bhpo {
+
+Result<BalancedKMeansResult> BalancedKMeans(
+    const Matrix& points, const BalancedKMeansOptions& options) {
+  if (options.k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (options.min_size_ratio < 0.0 || options.min_size_ratio >= 1.0) {
+    return Status::InvalidArgument("min_size_ratio must be in [0, 1)");
+  }
+  if (points.rows() < static_cast<size_t>(options.k)) {
+    return Status::InvalidArgument("fewer points than clusters");
+  }
+
+  size_t n = points.rows();
+  double quota = options.min_size_ratio * static_cast<double>(n) /
+                 static_cast<double>(options.k);
+
+  // Active set shrinks as undersized clusters are dropped.
+  std::vector<size_t> active(n);
+  std::iota(active.begin(), active.end(), 0);
+
+  BalancedKMeansResult result;
+  KMeansOptions kopts = options.kmeans;
+  kopts.k = options.k;
+  kopts.seed = options.seed;
+
+  std::vector<int> active_assignments;
+  int round = 0;
+  for (; round < options.max_rounds; ++round) {
+    Matrix subset = points.SelectRows(active);
+    kopts.seed = options.seed + static_cast<uint64_t>(round);
+    BHPO_ASSIGN_OR_RETURN(KMeansResult km, KMeans(subset, kopts));
+
+    std::vector<size_t> counts(options.k, 0);
+    for (int a : km.assignments) ++counts[a];
+
+    bool all_meet_quota = true;
+    for (size_t c : counts) {
+      if (static_cast<double>(c) < quota) {
+        all_meet_quota = false;
+        break;
+      }
+    }
+
+    result.centers = std::move(km.centers);
+    active_assignments = std::move(km.assignments);
+
+    if (all_meet_quota) {
+      result.balanced = true;
+      ++round;
+      break;
+    }
+
+    // Drop instances of undersized clusters and re-cluster the rest —
+    // unless that would leave fewer points than clusters, in which case we
+    // accept the imbalanced outcome.
+    std::vector<char> undersized(options.k, 0);
+    for (int c = 0; c < options.k; ++c) {
+      undersized[c] = static_cast<double>(counts[c]) < quota;
+    }
+    std::vector<size_t> survivors;
+    survivors.reserve(active.size());
+    for (size_t i = 0; i < active.size(); ++i) {
+      if (!undersized[active_assignments[i]]) {
+        survivors.push_back(active[i]);
+      }
+    }
+    if (survivors.size() < static_cast<size_t>(options.k) ||
+        survivors.size() == active.size()) {
+      break;
+    }
+    active = std::move(survivors);
+    // Quota stays defined against the full dataset size n (the paper's
+    // n/k * r_group), not the shrinking active set.
+  }
+  result.rounds = round;
+
+  // Final assignment: everyone (including dropped instances) goes to the
+  // nearest center of the final clustering.
+  result.assignments.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    result.assignments[i] = NearestCenter(result.centers, points.Row(i));
+  }
+  return result;
+}
+
+}  // namespace bhpo

@@ -1,0 +1,40 @@
+#ifndef BHPO_CLUSTER_BALANCED_KMEANS_H_
+#define BHPO_CLUSTER_BALANCED_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace bhpo {
+
+// The paper's clustering loop (Section III-A): run k-means; if any cluster
+// holds fewer than r_group * (n / k) instances, drop those instances and
+// re-cluster the remainder, repeating until every cluster meets the quota
+// (or max_rounds is hit). Dropped instances are finally attached to their
+// nearest surviving center, so the returned assignment covers all n points.
+struct BalancedKMeansOptions {
+  int k = 3;
+  // Minimum cluster size as a ratio of the average cluster size n/k.
+  // The paper's experiments use r_group = 0.8.
+  double min_size_ratio = 0.8;
+  int max_rounds = 10;
+  KMeansOptions kmeans;  // k inside is overwritten by `k` above.
+  uint64_t seed = 0;
+};
+
+struct BalancedKMeansResult {
+  Matrix centers;                // k x d
+  std::vector<int> assignments;  // size n, all points assigned
+  int rounds = 0;                // re-clustering rounds performed
+  bool balanced = false;         // quota met before max_rounds?
+};
+
+Result<BalancedKMeansResult> BalancedKMeans(
+    const Matrix& points, const BalancedKMeansOptions& options);
+
+}  // namespace bhpo
+
+#endif  // BHPO_CLUSTER_BALANCED_KMEANS_H_

@@ -1,0 +1,176 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace bhpo {
+
+double SquaredDistance(const double* a, const double* b, size_t dim) {
+  double acc = 0.0;
+  for (size_t i = 0; i < dim; ++i) {
+    double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+int NearestCenter(const Matrix& centers, const double* point) {
+  BHPO_CHECK_GT(centers.rows(), 0u);
+  int best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centers.rows(); ++c) {
+    double d = SquaredDistance(centers.Row(c), point, centers.cols());
+    if (d < best_dist) {
+      best_dist = d;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+namespace {
+
+// k-means++ seeding: first center uniform, then proportional to squared
+// distance to the nearest chosen center.
+Matrix SeedCenters(const Matrix& points, int k, Rng* rng) {
+  size_t n = points.rows();
+  size_t dim = points.cols();
+  Matrix centers(k, dim);
+
+  size_t first = rng->UniformIndex(n);
+  for (size_t c = 0; c < dim; ++c) centers(0, c) = points(first, c);
+
+  std::vector<double> dist2(n, std::numeric_limits<double>::infinity());
+  for (int chosen = 1; chosen < k; ++chosen) {
+    const double* last = centers.Row(chosen - 1);
+    for (size_t i = 0; i < n; ++i) {
+      dist2[i] =
+          std::min(dist2[i], SquaredDistance(points.Row(i), last, dim));
+    }
+    double total = 0.0;
+    for (double d : dist2) total += d;
+    size_t pick;
+    if (total <= 0.0) {
+      pick = rng->UniformIndex(n);  // All points identical to a center.
+    } else {
+      pick = rng->Categorical(dist2);
+    }
+    for (size_t c = 0; c < dim; ++c) {
+      centers(chosen, c) = points(pick, c);
+    }
+  }
+  return centers;
+}
+
+struct LloydOutcome {
+  Matrix centers;
+  std::vector<int> assignments;
+  double inertia;
+  int iterations;
+};
+
+LloydOutcome RunLloyd(const Matrix& points, int k, int max_iterations,
+                      double tolerance, Rng* rng) {
+  size_t n = points.rows();
+  size_t dim = points.cols();
+  Matrix centers = SeedCenters(points, k, rng);
+  std::vector<int> assignments(n, 0);
+
+  int iter = 0;
+  for (; iter < max_iterations; ++iter) {
+    // Assignment step.
+    for (size_t i = 0; i < n; ++i) {
+      assignments[i] = NearestCenter(centers, points.Row(i));
+    }
+    // Update step.
+    Matrix new_centers(k, dim);
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      double* c = new_centers.Row(assignments[i]);
+      const double* p = points.Row(i);
+      for (size_t d = 0; d < dim; ++d) c[d] += p[d];
+      ++counts[assignments[i]];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster from the point farthest from its center.
+        size_t worst = 0;
+        double worst_dist = -1.0;
+        for (size_t i = 0; i < n; ++i) {
+          double d = SquaredDistance(points.Row(i),
+                                     centers.Row(assignments[i]), dim);
+          if (d > worst_dist) {
+            worst_dist = d;
+            worst = i;
+          }
+        }
+        for (size_t d = 0; d < dim; ++d) {
+          new_centers(c, d) = points(worst, d);
+        }
+      } else {
+        double* row = new_centers.Row(c);
+        for (size_t d = 0; d < dim; ++d) {
+          row[d] /= static_cast<double>(counts[c]);
+        }
+      }
+    }
+    // Convergence check: total center movement.
+    double movement = 0.0;
+    for (int c = 0; c < k; ++c) {
+      movement +=
+          std::sqrt(SquaredDistance(centers.Row(c), new_centers.Row(c), dim));
+    }
+    centers = std::move(new_centers);
+    if (movement < tolerance) {
+      ++iter;
+      break;
+    }
+  }
+
+  // Final assignment + inertia against the final centers.
+  double inertia = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    assignments[i] = NearestCenter(centers, points.Row(i));
+    inertia +=
+        SquaredDistance(points.Row(i), centers.Row(assignments[i]), dim);
+  }
+  return {std::move(centers), std::move(assignments), inertia, iter};
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans(const Matrix& points,
+                            const KMeansOptions& options) {
+  if (points.rows() == 0) {
+    return Status::InvalidArgument("k-means on an empty matrix");
+  }
+  if (options.k < 1) {
+    return Status::InvalidArgument("k must be >= 1");
+  }
+  if (static_cast<size_t>(options.k) > points.rows()) {
+    return Status::InvalidArgument("k exceeds the number of points");
+  }
+  if (options.max_iterations < 1 || options.n_init < 1) {
+    return Status::InvalidArgument("max_iterations and n_init must be >= 1");
+  }
+
+  Rng rng(options.seed);
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  for (int restart = 0; restart < options.n_init; ++restart) {
+    LloydOutcome outcome = RunLloyd(points, options.k, options.max_iterations,
+                                    options.tolerance, &rng);
+    if (outcome.inertia < best.inertia) {
+      best.centers = std::move(outcome.centers);
+      best.assignments = std::move(outcome.assignments);
+      best.inertia = outcome.inertia;
+      best.iterations = outcome.iterations;
+    }
+  }
+  return best;
+}
+
+}  // namespace bhpo

@@ -1,0 +1,43 @@
+#ifndef BHPO_CLUSTER_KMEANS_H_
+#define BHPO_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace bhpo {
+
+struct KMeansOptions {
+  int k = 3;
+  // The paper notes "the number of iterations of k-means defaults to 10".
+  int max_iterations = 10;
+  // Early stop when the total center movement falls below this.
+  double tolerance = 1e-4;
+  // Restarts; the best inertia wins.
+  int n_init = 1;
+  uint64_t seed = 0;
+};
+
+struct KMeansResult {
+  Matrix centers;                // k x d
+  std::vector<int> assignments;  // size n, values in [0, k)
+  double inertia = 0.0;          // sum of squared distances to centers
+  int iterations = 0;            // iterations of the best restart
+};
+
+// Lloyd's algorithm with k-means++ seeding. Empty clusters are re-seeded
+// from the point farthest from its center, so all k clusters stay alive.
+Result<KMeansResult> KMeans(const Matrix& points, const KMeansOptions& options);
+
+// Squared Euclidean distance between a row of `points` and a row of
+// `centers` (shared helper for the clustering family).
+double SquaredDistance(const double* a, const double* b, size_t dim);
+
+// Index of the nearest center to the given point.
+int NearestCenter(const Matrix& centers, const double* point);
+
+}  // namespace bhpo
+
+#endif  // BHPO_CLUSTER_KMEANS_H_

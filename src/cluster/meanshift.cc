@@ -1,0 +1,110 @@
+#include "cluster/meanshift.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cluster/kmeans.h"
+#include "common/rng.h"
+
+namespace bhpo {
+
+namespace {
+
+double EstimateBandwidth(const Matrix& points, Rng* rng) {
+  // Median pairwise distance over a bounded subsample.
+  size_t n = points.rows();
+  size_t sample = std::min<size_t>(n, 200);
+  std::vector<size_t> picks = rng->SampleWithoutReplacement(n, sample);
+  std::vector<double> dists;
+  dists.reserve(sample * (sample - 1) / 2);
+  for (size_t i = 0; i < picks.size(); ++i) {
+    for (size_t j = i + 1; j < picks.size(); ++j) {
+      dists.push_back(std::sqrt(SquaredDistance(
+          points.Row(picks[i]), points.Row(picks[j]), points.cols())));
+    }
+  }
+  if (dists.empty()) return 1.0;
+  std::nth_element(dists.begin(), dists.begin() + dists.size() / 2,
+                   dists.end());
+  double median = dists[dists.size() / 2];
+  return median > 1e-9 ? median * 0.5 : 1.0;
+}
+
+}  // namespace
+
+Result<MeanShiftResult> MeanShift(const Matrix& points,
+                                  const MeanShiftOptions& options) {
+  if (points.rows() == 0) {
+    return Status::InvalidArgument("mean shift on an empty matrix");
+  }
+  if (options.max_iterations < 1) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+
+  size_t n = points.rows();
+  size_t dim = points.cols();
+  Rng rng(options.seed);
+  double bandwidth = options.bandwidth > 0.0
+                         ? options.bandwidth
+                         : EstimateBandwidth(points, &rng);
+  double radius2 = bandwidth * bandwidth;
+
+  // Shift every point to its local mode under the flat kernel.
+  Matrix shifted = points;
+  std::vector<double> mean(dim);
+  for (size_t i = 0; i < n; ++i) {
+    double* x = shifted.Row(i);
+    for (int iter = 0; iter < options.max_iterations; ++iter) {
+      std::fill(mean.begin(), mean.end(), 0.0);
+      size_t inside = 0;
+      for (size_t j = 0; j < n; ++j) {
+        const double* p = points.Row(j);
+        if (SquaredDistance(x, p, dim) <= radius2) {
+          for (size_t d = 0; d < dim; ++d) mean[d] += p[d];
+          ++inside;
+        }
+      }
+      if (inside == 0) break;
+      double move2 = 0.0;
+      for (size_t d = 0; d < dim; ++d) {
+        double next = mean[d] / static_cast<double>(inside);
+        double delta = next - x[d];
+        move2 += delta * delta;
+        x[d] = next;
+      }
+      if (std::sqrt(move2) < options.tolerance * bandwidth) break;
+    }
+  }
+
+  // Merge converged points into modes.
+  double merge2 = options.merge_radius * bandwidth;
+  merge2 *= merge2;
+  std::vector<std::vector<double>> modes;
+  MeanShiftResult result;
+  result.assignments.assign(n, -1);
+  for (size_t i = 0; i < n; ++i) {
+    const double* x = shifted.Row(i);
+    int found = -1;
+    for (size_t m = 0; m < modes.size(); ++m) {
+      if (SquaredDistance(x, modes[m].data(), dim) <= merge2) {
+        found = static_cast<int>(m);
+        break;
+      }
+    }
+    if (found < 0) {
+      modes.emplace_back(x, x + dim);
+      found = static_cast<int>(modes.size()) - 1;
+    }
+    result.assignments[i] = found;
+  }
+
+  result.modes = Matrix(modes.size(), dim);
+  for (size_t m = 0; m < modes.size(); ++m) {
+    for (size_t d = 0; d < dim; ++d) result.modes(m, d) = modes[m][d];
+  }
+  result.bandwidth_used = bandwidth;
+  return result;
+}
+
+}  // namespace bhpo

@@ -1,0 +1,37 @@
+#ifndef BHPO_CLUSTER_MEANSHIFT_H_
+#define BHPO_CLUSTER_MEANSHIFT_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace bhpo {
+
+// Flat-kernel mean shift. Provided because Section III-A lists mean-shift
+// (and affinity propagation) as alternative clusterers for the grouping
+// step; k-means remains the default for speed, but GroupingOptions can swap
+// this in.
+struct MeanShiftOptions {
+  // Kernel radius. <= 0 means "estimate": the median pairwise distance of a
+  // subsample.
+  double bandwidth = 0.0;
+  int max_iterations = 50;
+  double tolerance = 1e-3;
+  // Modes closer than merge_radius * bandwidth collapse into one cluster.
+  double merge_radius = 0.5;
+  uint64_t seed = 0;
+};
+
+struct MeanShiftResult {
+  Matrix modes;                  // one row per discovered cluster
+  std::vector<int> assignments;  // size n
+  double bandwidth_used = 0.0;
+};
+
+Result<MeanShiftResult> MeanShift(const Matrix& points,
+                                  const MeanShiftOptions& options);
+
+}  // namespace bhpo
+
+#endif  // BHPO_CLUSTER_MEANSHIFT_H_

@@ -1,0 +1,59 @@
+#ifndef BHPO_COMMON_CHECK_H_
+#define BHPO_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace bhpo {
+namespace internal_check {
+
+// Accumulates a failure message and aborts when destroyed. Used only via the
+// BHPO_CHECK macros below; never instantiate directly.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "BHPO_CHECK failed: " << condition << " at " << file << ":"
+            << line << " ";
+  }
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// glog-style voidifier: gives the false branch of the BHPO_CHECK ternary a
+// void type while still letting callers stream extra context with `<<`
+// (operator& binds more loosely than operator<<).
+struct Voidify {
+  void operator&(CheckFailureStream&) {}
+  void operator&(CheckFailureStream&&) {}
+};
+
+}  // namespace internal_check
+}  // namespace bhpo
+
+// Fatal assertion for programming errors / violated invariants. Active in
+// all build types. Supports streaming: BHPO_CHECK(a == b) << "context " << x;
+#define BHPO_CHECK(condition)                           \
+  (condition) ? static_cast<void>(0)                    \
+              : ::bhpo::internal_check::Voidify() &     \
+                    ::bhpo::internal_check::CheckFailureStream( \
+                        #condition, __FILE__, __LINE__)
+
+#define BHPO_CHECK_EQ(a, b) BHPO_CHECK((a) == (b))
+#define BHPO_CHECK_NE(a, b) BHPO_CHECK((a) != (b))
+#define BHPO_CHECK_LT(a, b) BHPO_CHECK((a) < (b))
+#define BHPO_CHECK_LE(a, b) BHPO_CHECK((a) <= (b))
+#define BHPO_CHECK_GT(a, b) BHPO_CHECK((a) > (b))
+#define BHPO_CHECK_GE(a, b) BHPO_CHECK((a) >= (b))
+
+#endif  // BHPO_COMMON_CHECK_H_

@@ -1,0 +1,89 @@
+#include "common/flags.h"
+
+#include "common/strings.h"
+
+namespace bhpo {
+
+FlagParser::FlagParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--name value" when the next token is not itself a flag; otherwise a
+    // bare boolean.
+    if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      values_[body] = argv[i + 1];
+      ++i;
+    } else {
+      values_[body] = "";
+    }
+  }
+}
+
+bool FlagParser::Has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& default_value) {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+Result<int> FlagParser::GetInt(const std::string& name, int default_value) {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  auto parsed = ParseInt(it->second);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("--" + name + ": " +
+                                   parsed.status().message());
+  }
+  return parsed;
+}
+
+Result<double> FlagParser::GetDouble(const std::string& name,
+                                     double default_value) {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  auto parsed = ParseDouble(it->second);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("--" + name + ": " +
+                                   parsed.status().message());
+  }
+  return parsed;
+}
+
+Result<bool> FlagParser::GetBool(const std::string& name, bool default_value) {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  const std::string& v = it->second;
+  if (v.empty() || v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  return Status::InvalidArgument("--" + name + ": expected a boolean, got '" +
+                                 v + "'");
+}
+
+Status FlagParser::CheckUnrecognized() const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : values_) {
+    if (!queried_.count(name)) unknown.push_back("--" + name);
+  }
+  if (unknown.empty()) return Status::OK();
+  return Status::InvalidArgument("unrecognized flags: " +
+                                 JoinStrings(unknown, ", "));
+}
+
+}  // namespace bhpo

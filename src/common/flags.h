@@ -1,0 +1,45 @@
+#ifndef BHPO_COMMON_FLAGS_H_
+#define BHPO_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bhpo {
+
+// Minimal command-line flag parser for the CLI tools. Accepts
+// "--name=value", "--name value" and bare "--name" (boolean true);
+// everything else is a positional argument. Flags may be queried with
+// typed accessors; querying marks a flag as recognized, and
+// CheckUnrecognized() reports any flag never queried (catches typos).
+class FlagParser {
+ public:
+  FlagParser(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+
+  // Typed accessors return the default when the flag is absent and an
+  // error Status when the value does not parse.
+  std::string GetString(const std::string& name,
+                        const std::string& default_value);
+  Result<int> GetInt(const std::string& name, int default_value);
+  Result<double> GetDouble(const std::string& name, double default_value);
+  // Bare "--name" and "--name=true/1/yes" are true; "=false/0/no" false.
+  Result<bool> GetBool(const std::string& name, bool default_value);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Error listing every flag that was supplied but never queried.
+  Status CheckUnrecognized() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace bhpo
+
+#endif  // BHPO_COMMON_FLAGS_H_

@@ -1,0 +1,44 @@
+#ifndef BHPO_COMMON_LOGGING_H_
+#define BHPO_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace bhpo {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are dropped. Defaults to
+// kWarning so library internals stay quiet unless a harness opts in.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+// Buffers one log line and flushes it (with level tag) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define BHPO_LOG(level)                                      \
+  ::bhpo::internal_logging::LogMessage(::bhpo::LogLevel::level, \
+                                       __FILE__, __LINE__)
+
+}  // namespace bhpo
+
+#endif  // BHPO_COMMON_LOGGING_H_

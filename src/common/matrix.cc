@@ -1,0 +1,187 @@
+#include "common/matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace bhpo {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::RandomGaussian(size_t rows, size_t cols, Rng* rng,
+                              double stddev) {
+  BHPO_CHECK(rng != nullptr);
+  Matrix m(rows, cols);
+  for (double& x : m.data_) x = rng->Gaussian(0.0, stddev);
+  return m;
+}
+
+Matrix Matrix::RandomUniform(size_t rows, size_t cols, Rng* rng,
+                             double limit) {
+  BHPO_CHECK(rng != nullptr);
+  Matrix m(rows, cols);
+  for (double& x : m.data_) x = rng->Uniform(-limit, limit);
+  return m;
+}
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    BHPO_CHECK_EQ(rows[r].size(), m.cols_) << "ragged row " << r;
+    for (size_t c = 0; c < m.cols_; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+std::vector<double> Matrix::RowVector(size_t r) const {
+  const double* p = Row(r);
+  return std::vector<double>(p, p + cols_);
+}
+
+Matrix Matrix::SelectRows(const std::vector<size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const double* src = Row(indices[i]);
+    double* dst = out.Row(i);
+    for (size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* src = Row(r);
+    for (size_t c = 0; c < cols_; ++c) out(c, r) = src[c];
+  }
+  return out;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  BHPO_CHECK_EQ(cols_, other.rows_)
+      << ShapeString() << " x " << other.ShapeString();
+  Matrix out(rows_, other.cols_);
+  // ikj loop order: streams through `other` and `out` rows contiguously.
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = Row(i);
+    double* o = out.Row(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      double aik = a[k];
+      if (aik == 0.0) continue;
+      const double* b = other.Row(k);
+      for (size_t j = 0; j < other.cols_; ++j) o[j] += aik * b[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::TransposeMatMul(const Matrix& other) const {
+  BHPO_CHECK_EQ(rows_, other.rows_)
+      << ShapeString() << "^T x " << other.ShapeString();
+  Matrix out(cols_, other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* a = Row(r);
+    const double* b = other.Row(r);
+    for (size_t i = 0; i < cols_; ++i) {
+      double ai = a[i];
+      if (ai == 0.0) continue;
+      double* o = out.Row(i);
+      for (size_t j = 0; j < other.cols_; ++j) o[j] += ai * b[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::MatMulTranspose(const Matrix& other) const {
+  BHPO_CHECK_EQ(cols_, other.cols_)
+      << ShapeString() << " x " << other.ShapeString() << "^T";
+  Matrix out(rows_, other.rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = Row(i);
+    double* o = out.Row(i);
+    for (size_t j = 0; j < other.rows_; ++j) {
+      const double* b = other.Row(j);
+      double acc = 0.0;
+      for (size_t k = 0; k < cols_; ++k) acc += a[k] * b[k];
+      o[j] = acc;
+    }
+  }
+  return out;
+}
+
+void Matrix::Add(const Matrix& other) {
+  BHPO_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::Sub(const Matrix& other) {
+  BHPO_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+}
+
+void Matrix::MulElem(const Matrix& other) {
+  BHPO_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+}
+
+void Matrix::Scale(double factor) {
+  for (double& x : data_) x *= factor;
+}
+
+void Matrix::AddScaled(const Matrix& other, double factor) {
+  BHPO_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += factor * other.data_[i];
+  }
+}
+
+void Matrix::AddRowBroadcast(const Matrix& row) {
+  BHPO_CHECK_EQ(row.rows(), 1u);
+  BHPO_CHECK_EQ(row.cols(), cols_);
+  const double* b = row.Row(0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double* p = Row(r);
+    for (size_t c = 0; c < cols_; ++c) p[c] += b[c];
+  }
+}
+
+Matrix Matrix::ColSums() const {
+  Matrix out(1, cols_);
+  double* o = out.Row(0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* p = Row(r);
+    for (size_t c = 0; c < cols_; ++c) o[c] += p[c];
+  }
+  return out;
+}
+
+double Matrix::SumSquares() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return acc;
+}
+
+double Matrix::Dot(const Matrix& other) const {
+  BHPO_CHECK(SameShape(other));
+  double acc = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) acc += data_[i] * other.data_[i];
+  return acc;
+}
+
+double Matrix::MaxAbs() const {
+  double best = 0.0;
+  for (double x : data_) best = std::max(best, std::fabs(x));
+  return best;
+}
+
+std::string Matrix::ShapeString() const {
+  std::ostringstream os;
+  os << "(" << rows_ << " x " << cols_ << ")";
+  return os.str();
+}
+
+}  // namespace bhpo

@@ -1,0 +1,111 @@
+#ifndef BHPO_COMMON_MATRIX_H_
+#define BHPO_COMMON_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace bhpo {
+
+// Dense row-major matrix of doubles. This is the numeric workhorse for the
+// MLP substrate and the clustering substrate; it favors clarity and cache
+// friendliness (contiguous storage, tiled-free straightforward loops) over
+// BLAS-level tuning, which is sufficient for the dataset scales this library
+// targets.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix Zeros(size_t rows, size_t cols) { return Matrix(rows, cols); }
+  static Matrix Identity(size_t n);
+  // Entries drawn iid from N(0, stddev^2).
+  static Matrix RandomGaussian(size_t rows, size_t cols, Rng* rng,
+                               double stddev = 1.0);
+  // Entries drawn iid from U(-limit, limit) (Glorot-style init).
+  static Matrix RandomUniform(size_t rows, size_t cols, Rng* rng,
+                              double limit);
+  // Builds a matrix from nested initializer data; all rows must have equal
+  // length.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) {
+    BHPO_CHECK_LT(r, rows_);
+    BHPO_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    BHPO_CHECK_LT(r, rows_);
+    BHPO_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+
+  // Raw row access for hot loops (bounds-checked once).
+  double* Row(size_t r) {
+    BHPO_CHECK_LT(r, rows_);
+    return data_.data() + r * cols_;
+  }
+  const double* Row(size_t r) const {
+    BHPO_CHECK_LT(r, rows_);
+    return data_.data() + r * cols_;
+  }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  // Copies row r into a vector.
+  std::vector<double> RowVector(size_t r) const;
+  // Selects a subset of rows (gather).
+  Matrix SelectRows(const std::vector<size_t>& indices) const;
+
+  Matrix Transpose() const;
+
+  // this (rows x cols) * other (cols x k) -> (rows x k).
+  Matrix MatMul(const Matrix& other) const;
+  // this^T * other, without materializing the transpose.
+  Matrix TransposeMatMul(const Matrix& other) const;
+  // this * other^T, without materializing the transpose.
+  Matrix MatMulTranspose(const Matrix& other) const;
+
+  // Elementwise in-place ops; shapes must match.
+  void Add(const Matrix& other);
+  void Sub(const Matrix& other);
+  void MulElem(const Matrix& other);
+  void Scale(double factor);
+  // this += factor * other (axpy).
+  void AddScaled(const Matrix& other, double factor);
+  // Adds a row vector (1 x cols) to every row (bias broadcast).
+  void AddRowBroadcast(const Matrix& row);
+
+  // Column-wise sum -> (1 x cols). Used for bias gradients.
+  Matrix ColSums() const;
+
+  double SumSquares() const;
+  double Dot(const Matrix& other) const;
+  // Largest absolute entry (0 for an empty matrix).
+  double MaxAbs() const;
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  std::string ShapeString() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace bhpo
+
+#endif  // BHPO_COMMON_MATRIX_H_

@@ -1,0 +1,38 @@
+#include "common/rng.h"
+
+#include <numeric>
+
+namespace bhpo {
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  BHPO_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    BHPO_CHECK_GE(w, 0.0) << "Categorical weights must be non-negative";
+    total += w;
+  }
+  BHPO_CHECK_GT(total, 0.0) << "Categorical needs a positive total weight";
+  double r = Uniform(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;  // Floating-point edge: r == total.
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  BHPO_CHECK_LE(k, n);
+  // Partial Fisher-Yates over an index vector: O(n) memory, O(n + k) time,
+  // fine for the dataset sizes this library targets.
+  std::vector<size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), 0);
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + UniformIndex(n - i);
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+}  // namespace bhpo

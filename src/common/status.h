@@ -1,0 +1,143 @@
+#ifndef BHPO_COMMON_STATUS_H_
+#define BHPO_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace bhpo {
+
+// Error taxonomy for recoverable failures. Programming errors (violated
+// invariants) do not get a StatusCode; they hit BHPO_CHECK and abort.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kIoError,
+  kNotImplemented,
+  kInternal,
+};
+
+// Returns a stable human-readable name such as "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+// Arrow/RocksDB-style status object. Cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> holds either a value or an error Status, never both.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from values and from error Statuses keeps call
+  // sites terse: `return Status::InvalidArgument(...)` / `return value;`.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    BHPO_CHECK(!std::get<Status>(payload_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    BHPO_CHECK(ok()) << "value() on error Result: " << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    BHPO_CHECK(ok()) << "value() on error Result: " << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    BHPO_CHECK(ok()) << "value() on error Result: " << status().ToString();
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(payload_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+// Propagates a non-OK Status from an expression, Arrow-style.
+#define BHPO_RETURN_NOT_OK(expr)                  \
+  do {                                            \
+    ::bhpo::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+// Evaluates a Result<T> expression; on error returns its Status, otherwise
+// moves the value into `lhs`. Usable only in functions returning Status or
+// Result<U>.
+#define BHPO_ASSIGN_OR_RETURN(lhs, expr)          \
+  BHPO_ASSIGN_OR_RETURN_IMPL(                     \
+      BHPO_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define BHPO_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define BHPO_CONCAT_(a, b) BHPO_CONCAT_IMPL_(a, b)
+#define BHPO_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace bhpo
+
+#endif  // BHPO_COMMON_STATUS_H_

@@ -1,0 +1,29 @@
+#ifndef BHPO_COMMON_STOPWATCH_H_
+#define BHPO_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace bhpo {
+
+// Monotonic wall-clock timer used to report search times in the benchmark
+// harnesses, mirroring the "time (sec.)" rows of the paper's tables.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace bhpo
+
+#endif  // BHPO_COMMON_STOPWATCH_H_

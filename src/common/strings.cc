@@ -1,0 +1,87 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace bhpo {
+
+std::vector<std::string> Split(std::string_view text, char delimiter) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == delimiter) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+Result<double> ParseDouble(std::string_view token) {
+  std::string trimmed(StripWhitespace(token));
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("empty numeric token");
+  }
+  char* end = nullptr;
+  double value = std::strtod(trimmed.c_str(), &end);
+  if (end != trimmed.c_str() + trimmed.size()) {
+    return Status::InvalidArgument("not a number: '" + trimmed + "'");
+  }
+  return value;
+}
+
+Result<int> ParseInt(std::string_view token) {
+  std::string trimmed(StripWhitespace(token));
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("empty integer token");
+  }
+  char* end = nullptr;
+  long value = std::strtol(trimmed.c_str(), &end, 10);
+  if (end != trimmed.c_str() + trimmed.size()) {
+    return Status::InvalidArgument("not an integer: '" + trimmed + "'");
+  }
+  if (value < INT_MIN || value > INT_MAX) {
+    return Status::OutOfRange("integer out of range: '" + trimmed + "'");
+  }
+  return static_cast<int>(value);
+}
+
+std::string JoinStrings(const std::vector<std::string>& items,
+                        std::string_view separator) {
+  std::string out;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out.append(separator);
+    out.append(items[i]);
+  }
+  return out;
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace bhpo

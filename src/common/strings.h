@@ -1,0 +1,34 @@
+#ifndef BHPO_COMMON_STRINGS_H_
+#define BHPO_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bhpo {
+
+// Splits on a single-character delimiter; keeps empty fields so CSV columns
+// stay aligned.
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+// Trims ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view text);
+
+// Strict numeric parsing: the whole (trimmed) token must be consumed.
+Result<double> ParseDouble(std::string_view token);
+Result<int> ParseInt(std::string_view token);
+
+// Joins items with a separator; Formatter converts an item to string.
+std::string JoinStrings(const std::vector<std::string>& items,
+                        std::string_view separator);
+
+// Fixed-precision double formatting ("%.*f"), used by the bench tables.
+std::string FormatDouble(double value, int precision);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace bhpo
+
+#endif  // BHPO_COMMON_STRINGS_H_

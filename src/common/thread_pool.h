@@ -1,0 +1,55 @@
+#ifndef BHPO_COMMON_THREAD_POOL_H_
+#define BHPO_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace bhpo {
+
+// Fixed-size worker pool for evaluating independent hyperparameter
+// configurations (or cross-validation folds) in parallel. HPO evaluation is
+// embarrassingly parallel within a rung, which is exactly what this covers;
+// work stealing and priorities are intentionally out of scope.
+class ThreadPool {
+ public:
+  // num_threads == 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Enqueues a task. Must not be called after Wait() has begun from another
+  // thread or after destruction has started.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished.
+  void Wait();
+
+  // Runs fn(i) for i in [0, n), partitioned across the pool, and blocks
+  // until all iterations complete. Falls back to a serial loop when the pool
+  // has a single worker to avoid pointless queueing overhead.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace bhpo
+
+#endif  // BHPO_COMMON_THREAD_POOL_H_

@@ -1,0 +1,65 @@
+#include "cv/cross_validate.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace bhpo {
+
+void MeanStddev(const std::vector<double>& values, double* mean,
+                double* stddev) {
+  BHPO_CHECK(mean != nullptr && stddev != nullptr);
+  *mean = 0.0;
+  *stddev = 0.0;
+  if (values.empty()) return;
+  for (double v : values) *mean += v;
+  *mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) {
+    double d = v - *mean;
+    var += d * d;
+  }
+  *stddev = std::sqrt(var / static_cast<double>(values.size()));
+}
+
+Result<CvOutcome> CrossValidate(const Dataset& data, const FoldSet& folds,
+                                const ModelFactory& factory,
+                                EvalMetric metric) {
+  if (!factory) return Status::InvalidArgument("null model factory");
+  if (folds.num_folds() < 2) {
+    return Status::InvalidArgument("cross-validation needs >= 2 folds");
+  }
+  BHPO_RETURN_NOT_OK(folds.Validate(data.n()));
+
+  double worst_score = data.is_classification() ? 0.0 : -1.0;
+  CvOutcome outcome;
+  outcome.subset_size = folds.TotalSize();
+
+  for (size_t f = 0; f < folds.num_folds(); ++f) {
+    if (folds.folds[f].empty()) continue;
+    std::vector<size_t> train_idx = folds.ComplementOf(f);
+    if (train_idx.empty()) continue;
+
+    Dataset train = data.Subset(train_idx);
+    Dataset val = data.Subset(folds.folds[f]);
+
+    std::unique_ptr<Model> model = factory();
+    BHPO_CHECK(model != nullptr);
+    Status fit_status = model->Fit(train);
+    if (!fit_status.ok()) {
+      BHPO_LOG(kInfo) << "fold " << f
+                      << " fit failed: " << fit_status.ToString();
+      outcome.fold_scores.push_back(worst_score);
+      continue;
+    }
+    outcome.fold_scores.push_back(EvaluateModel(*model, val, metric));
+  }
+
+  if (outcome.fold_scores.empty()) {
+    return Status::FailedPrecondition("no usable folds (all empty)");
+  }
+  MeanStddev(outcome.fold_scores, &outcome.mean, &outcome.stddev);
+  return outcome;
+}
+
+}  // namespace bhpo

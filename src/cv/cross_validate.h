@@ -1,0 +1,43 @@
+#ifndef BHPO_CV_CROSS_VALIDATE_H_
+#define BHPO_CV_CROSS_VALIDATE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "cv/folds.h"
+#include "data/dataset.h"
+#include "ml/model.h"
+
+namespace bhpo {
+
+// Per-configuration cross-validation outcome: the raw fold scores plus the
+// mean/stddev the scoring layer consumes (Figure 2(g)->(h)).
+struct CvOutcome {
+  std::vector<double> fold_scores;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+  size_t subset_size = 0;
+};
+
+// Creates a fresh untrained model for one CV round.
+using ModelFactory = std::function<std::unique_ptr<Model>()>;
+
+// Runs k-fold CV over a fold partition of `data`: round f trains on the
+// complement of fold f and scores on fold f with `metric`. A fold whose
+// training side fails to fit (diverged solver) contributes the metric's
+// worst score (0 for classification metrics, -1 for R^2) rather than
+// aborting the search — a bandit must be able to discard broken
+// configurations gracefully.
+Result<CvOutcome> CrossValidate(const Dataset& data, const FoldSet& folds,
+                                const ModelFactory& factory,
+                                EvalMetric metric = EvalMetric::kAuto);
+
+// Convenience: mean/population-stddev of a score vector.
+void MeanStddev(const std::vector<double>& values, double* mean,
+                double* stddev);
+
+}  // namespace bhpo
+
+#endif  // BHPO_CV_CROSS_VALIDATE_H_

@@ -1,0 +1,45 @@
+#ifndef BHPO_CV_FOLDS_H_
+#define BHPO_CV_FOLDS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace bhpo {
+
+// A k-fold partition of an evaluation subset. Indices are absolute row ids
+// of the dataset the folds were built over; the folds are pairwise disjoint
+// and their union is exactly the subset handed to the builder.
+struct FoldSet {
+  std::vector<std::vector<size_t>> folds;
+
+  size_t num_folds() const { return folds.size(); }
+  size_t TotalSize() const;
+
+  // Checks disjointness and that ids are < n.
+  Status Validate(size_t n) const;
+
+  // All indices not in fold f (the training side of CV round f).
+  std::vector<size_t> ComplementOf(size_t f) const;
+};
+
+// Strategy interface for fold construction. `subset` holds absolute row ids
+// of `data` (the budget b_t the bandit allocated); implementations split it
+// into k folds.
+class FoldBuilder {
+ public:
+  virtual ~FoldBuilder() = default;
+
+  virtual Result<FoldSet> Build(const Dataset& data,
+                                const std::vector<size_t>& subset, size_t k,
+                                Rng* rng) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace bhpo
+
+#endif  // BHPO_CV_FOLDS_H_

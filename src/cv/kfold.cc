@@ -1,0 +1,33 @@
+#include "cv/kfold.h"
+
+namespace bhpo {
+
+Result<FoldSet> RandomKFold::Build(const Dataset& data,
+                                   const std::vector<size_t>& subset,
+                                   size_t k, Rng* rng) const {
+  (void)data;
+  if (k < 2) return Status::InvalidArgument("k must be >= 2");
+  if (subset.size() < k) {
+    return Status::InvalidArgument("subset smaller than fold count");
+  }
+  if (rng == nullptr) return Status::InvalidArgument("null rng");
+
+  std::vector<size_t> shuffled = subset;
+  rng->Shuffle(&shuffled);
+
+  FoldSet out;
+  out.folds.resize(k);
+  // Deal sequentially into k near-equal slices (first folds get the
+  // remainder, like scikit-learn's KFold).
+  size_t base = shuffled.size() / k;
+  size_t extra = shuffled.size() % k;
+  size_t pos = 0;
+  for (size_t f = 0; f < k; ++f) {
+    size_t take = base + (f < extra ? 1 : 0);
+    out.folds[f].assign(shuffled.begin() + pos, shuffled.begin() + pos + take);
+    pos += take;
+  }
+  return out;
+}
+
+}  // namespace bhpo

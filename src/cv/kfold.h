@@ -1,0 +1,19 @@
+#ifndef BHPO_CV_KFOLD_H_
+#define BHPO_CV_KFOLD_H_
+
+#include "cv/folds.h"
+
+namespace bhpo {
+
+// Plain random k-fold: shuffle the subset and cut it into k near-equal
+// slices (the paper's "random KFold" baseline).
+class RandomKFold : public FoldBuilder {
+ public:
+  Result<FoldSet> Build(const Dataset& data, const std::vector<size_t>& subset,
+                        size_t k, Rng* rng) const override;
+  std::string name() const override { return "random"; }
+};
+
+}  // namespace bhpo
+
+#endif  // BHPO_CV_KFOLD_H_

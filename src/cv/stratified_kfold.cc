@@ -1,0 +1,63 @@
+#include "cv/stratified_kfold.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bhpo {
+
+std::vector<int> StratumLabels(const Dataset& data, int bins) {
+  if (data.is_classification()) return data.labels();
+
+  BHPO_CHECK_GE(bins, 1);
+  // Quantile binning of regression targets (Section III-A: "divide
+  // numerical labels based on their magnitude").
+  size_t n = data.n();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return data.target(a) < data.target(b);
+  });
+  std::vector<int> strata(n, 0);
+  for (size_t rank = 0; rank < n; ++rank) {
+    strata[order[rank]] = static_cast<int>(
+        std::min<size_t>(bins - 1, rank * bins / std::max<size_t>(n, 1)));
+  }
+  return strata;
+}
+
+Result<FoldSet> StratifiedKFold::Build(const Dataset& data,
+                                       const std::vector<size_t>& subset,
+                                       size_t k, Rng* rng) const {
+  if (k < 2) return Status::InvalidArgument("k must be >= 2");
+  if (subset.size() < k) {
+    return Status::InvalidArgument("subset smaller than fold count");
+  }
+  if (rng == nullptr) return Status::InvalidArgument("null rng");
+  for (size_t idx : subset) {
+    if (idx >= data.n()) return Status::OutOfRange("subset index past end");
+  }
+
+  std::vector<int> strata = StratumLabels(data, regression_bins_);
+
+  // Bucket subset members by stratum, shuffle each bucket, then deal
+  // round-robin across the folds starting at a random offset so fold sizes
+  // stay balanced across strata.
+  int num_strata = 0;
+  for (size_t idx : subset) num_strata = std::max(num_strata, strata[idx] + 1);
+  std::vector<std::vector<size_t>> buckets(num_strata);
+  for (size_t idx : subset) buckets[strata[idx]].push_back(idx);
+
+  FoldSet out;
+  out.folds.resize(k);
+  size_t cursor = rng->UniformIndex(k);
+  for (auto& bucket : buckets) {
+    rng->Shuffle(&bucket);
+    for (size_t idx : bucket) {
+      out.folds[cursor % k].push_back(idx);
+      ++cursor;
+    }
+  }
+  return out;
+}
+
+}  // namespace bhpo

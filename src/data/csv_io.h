@@ -1,0 +1,30 @@
+#ifndef BHPO_DATA_CSV_IO_H_
+#define BHPO_DATA_CSV_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace bhpo {
+
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+  // Column index holding the label/target; -1 means the last column.
+  int label_column = -1;
+  Task task = Task::kClassification;
+};
+
+// Loads a dense CSV file into a Dataset. Classification labels may be any
+// integers or strings; they are remapped to contiguous ids [0, k) in order
+// of first appearance.
+Result<Dataset> LoadCsv(const std::string& path, const CsvOptions& options);
+
+// Writes a dataset as CSV (features then label column), mainly so examples
+// can round-trip data.
+Status SaveCsv(const Dataset& dataset, const std::string& path);
+
+}  // namespace bhpo
+
+#endif  // BHPO_DATA_CSV_IO_H_

@@ -1,0 +1,27 @@
+#ifndef BHPO_DATA_LIBSVM_IO_H_
+#define BHPO_DATA_LIBSVM_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace bhpo {
+
+struct LibsvmOptions {
+  // 0 means infer from the largest feature index seen.
+  size_t num_features = 0;
+  Task task = Task::kClassification;
+};
+
+// Loads a sparse LibSVM-format file ("label idx:value idx:value ...") into a
+// dense Dataset. Feature indices are 1-based per the format; missing entries
+// are zero. Classification labels (e.g. -1/+1 or 1..k) are remapped to
+// contiguous ids in sorted order of the distinct original labels, so -1/+1
+// becomes 0/1.
+Result<Dataset> LoadLibsvm(const std::string& path,
+                           const LibsvmOptions& options = {});
+
+}  // namespace bhpo
+
+#endif  // BHPO_DATA_LIBSVM_IO_H_

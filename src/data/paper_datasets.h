@@ -1,0 +1,50 @@
+#ifndef BHPO_DATA_PAPER_DATASETS_H_
+#define BHPO_DATA_PAPER_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/split.h"
+
+namespace bhpo {
+
+// Synthetic stand-ins for the 12 public datasets of Table II. We do not ship
+// the original LibSVM/UCI/Kaggle data; instead each name maps to a generator
+// whose class count, imbalance, cluster structure and difficulty mimic the
+// original, scaled down for a single-core machine (the paper ran on a
+// 10-core Xeon). The paper sizes are retained in the spec for documentation,
+// and users with the real files can load them through LoadLibsvm/LoadCsv and
+// run the same harnesses.
+struct PaperDatasetSpec {
+  std::string name;
+  Task task;
+  int num_classes;  // 0 for regression
+  // Scaled sizes actually generated.
+  size_t train_size;
+  size_t test_size;
+  size_t num_features;
+  bool imbalanced;
+  // Original sizes from Table II (0 = dataset shipped without a test set).
+  size_t paper_train_size;
+  size_t paper_test_size;
+  size_t paper_num_features;
+};
+
+// All 12 dataset specs in Table II order.
+const std::vector<PaperDatasetSpec>& PaperDatasets();
+
+Result<PaperDatasetSpec> GetPaperDatasetSpec(const std::string& name);
+
+// Generates the named stand-in, split into train/test (80/20 when the
+// original had no test set, mirroring the paper). `scale` multiplies the
+// generated sizes (e.g. 0.5 for quick smoke runs). Features are
+// standardized on the train split.
+Result<TrainTestSplit> MakePaperDataset(const std::string& name,
+                                        uint64_t seed = 42,
+                                        double scale = 1.0);
+
+}  // namespace bhpo
+
+#endif  // BHPO_DATA_PAPER_DATASETS_H_

@@ -1,0 +1,133 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.h"
+#include "data/split.h"
+
+namespace bhpo {
+
+Result<Dataset> MakeBlobs(const BlobsSpec& spec) {
+  if (spec.n == 0 || spec.num_features == 0) {
+    return Status::InvalidArgument("blobs need n > 0 and num_features > 0");
+  }
+  if (spec.num_classes < 2) {
+    return Status::InvalidArgument("blobs need >= 2 classes");
+  }
+  if (spec.clusters_per_class < 1) {
+    return Status::InvalidArgument("clusters_per_class must be >= 1");
+  }
+  if (!spec.class_weights.empty() &&
+      spec.class_weights.size() != static_cast<size_t>(spec.num_classes)) {
+    return Status::InvalidArgument("class_weights size != num_classes");
+  }
+  if (spec.label_noise < 0.0 || spec.label_noise > 1.0) {
+    return Status::InvalidArgument("label_noise must be in [0, 1]");
+  }
+  size_t informative = spec.informative_features == 0
+                           ? spec.num_features
+                           : spec.informative_features;
+  if (informative > spec.num_features) {
+    return Status::InvalidArgument("informative_features > num_features");
+  }
+
+  Rng rng(spec.seed);
+
+  // Per-class instance quotas.
+  std::vector<double> weights = spec.class_weights;
+  if (weights.empty()) weights.assign(spec.num_classes, 1.0);
+  std::vector<size_t> per_class = Apportion(spec.n, weights);
+
+  // Cluster centers: every (class, cluster) pair gets its own center in the
+  // informative subspace.
+  size_t total_clusters =
+      static_cast<size_t>(spec.num_classes) * spec.clusters_per_class;
+  std::vector<std::vector<double>> centers(total_clusters);
+  for (auto& center : centers) {
+    center.resize(informative);
+    for (double& x : center) x = rng.Gaussian(0.0, spec.center_spread);
+  }
+
+  Matrix features(spec.n, spec.num_features);
+  std::vector<int> labels(spec.n);
+  size_t row = 0;
+  for (int cls = 0; cls < spec.num_classes; ++cls) {
+    for (size_t i = 0; i < per_class[cls]; ++i, ++row) {
+      int cluster = rng.UniformInt(0, spec.clusters_per_class - 1);
+      const std::vector<double>& center =
+          centers[cls * spec.clusters_per_class + cluster];
+      double* p = features.Row(row);
+      for (size_t c = 0; c < informative; ++c) {
+        p[c] = center[c] + rng.Gaussian(0.0, spec.cluster_spread);
+      }
+      for (size_t c = informative; c < spec.num_features; ++c) {
+        p[c] = rng.Gaussian(0.0, 1.0);
+      }
+      labels[row] = cls;
+    }
+  }
+  BHPO_CHECK_EQ(row, spec.n);
+
+  if (spec.label_noise > 0.0) {
+    for (int& y : labels) {
+      if (rng.Bernoulli(spec.label_noise)) {
+        y = rng.UniformInt(0, spec.num_classes - 1);
+      }
+    }
+  }
+
+  // Shuffle rows so classes are interleaved.
+  std::vector<size_t> order(spec.n);
+  for (size_t i = 0; i < spec.n; ++i) order[i] = i;
+  rng.Shuffle(&order);
+  Matrix shuffled = features.SelectRows(order);
+  std::vector<int> shuffled_labels(spec.n);
+  for (size_t i = 0; i < spec.n; ++i) shuffled_labels[i] = labels[order[i]];
+
+  return Dataset::Classification(std::move(shuffled),
+                                 std::move(shuffled_labels),
+                                 spec.num_classes);
+}
+
+Result<Dataset> MakeRegression(const RegressionSpec& spec) {
+  if (spec.n == 0 || spec.num_features == 0) {
+    return Status::InvalidArgument(
+        "regression needs n > 0 and num_features > 0");
+  }
+  size_t informative =
+      std::min(std::max<size_t>(spec.informative_features, 1),
+               spec.num_features);
+
+  Rng rng(spec.seed);
+  std::vector<double> w(informative);
+  for (double& x : w) x = rng.Gaussian(0.0, 1.0);
+
+  Matrix features(spec.n, spec.num_features);
+  std::vector<double> targets(spec.n);
+  for (size_t r = 0; r < spec.n; ++r) {
+    double* p = features.Row(r);
+    for (size_t c = 0; c < spec.num_features; ++c) p[c] = rng.Uniform();
+
+    double y = 0.0;
+    // Friedman #1 terms, degrading gracefully when informative < 5.
+    if (informative >= 2) {
+      y += 10.0 * std::sin(std::numbers::pi * p[0] * p[1]);
+    } else {
+      y += 10.0 * std::sin(std::numbers::pi * p[0]);
+    }
+    if (informative >= 3) y += 20.0 * (p[2] - 0.5) * (p[2] - 0.5);
+    if (informative >= 4) y += 10.0 * p[3];
+    if (informative >= 5) y += 5.0 * p[4];
+
+    double dot = 0.0;
+    for (size_t c = 0; c < informative; ++c) dot += w[c] * p[c];
+    y += spec.nonlinearity * std::tanh(dot);
+    y += rng.Gaussian(0.0, spec.noise);
+    targets[r] = y;
+  }
+  return Dataset::Regression(std::move(features), std::move(targets));
+}
+
+}  // namespace bhpo

@@ -1,0 +1,54 @@
+#ifndef BHPO_DATA_SYNTHETIC_H_
+#define BHPO_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace bhpo {
+
+// Gaussian-mixture classification generator. Each class owns
+// `clusters_per_class` Gaussian clusters in the informative subspace; the
+// remaining features are pure noise. This reproduces the structure the
+// paper's grouping method exploits: instances of the same class living in
+// several distinct feature-space clusters.
+struct BlobsSpec {
+  size_t n = 1000;
+  size_t num_features = 10;
+  // 0 means all features are informative.
+  size_t informative_features = 0;
+  int num_classes = 2;
+  int clusters_per_class = 2;
+  // Stddev of points around their cluster center; higher = harder problem.
+  double cluster_spread = 1.0;
+  // Stddev of cluster center placement; higher = better separated.
+  double center_spread = 3.0;
+  // Relative class frequencies; empty = balanced.
+  std::vector<double> class_weights;
+  // Probability of replacing a label with a uniformly random one.
+  double label_noise = 0.0;
+  uint64_t seed = 42;
+};
+
+Result<Dataset> MakeBlobs(const BlobsSpec& spec);
+
+// Friedman-style nonlinear regression generator:
+//   y = 10 sin(pi x0 x1) + 20 (x2 - 0.5)^2 + 10 x3 + 5 x4
+//       + nonlinearity * tanh(w . x_informative) + N(0, noise^2)
+// with x ~ U(0,1)^d; features beyond the informative ones are noise.
+struct RegressionSpec {
+  size_t n = 1000;
+  size_t num_features = 10;
+  size_t informative_features = 5;
+  double noise = 1.0;
+  double nonlinearity = 5.0;
+  uint64_t seed = 42;
+};
+
+Result<Dataset> MakeRegression(const RegressionSpec& spec);
+
+}  // namespace bhpo
+
+#endif  // BHPO_DATA_SYNTHETIC_H_

@@ -1,0 +1,108 @@
+#include "hpo/asha.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hpo/sha.h"
+
+namespace bhpo {
+
+namespace {
+
+struct RungEntry {
+  Configuration config;
+  double score;
+  bool promoted;
+};
+
+}  // namespace
+
+Result<HpoResult> Asha::Optimize(const Dataset& train, Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("null rng");
+
+  double eta = static_cast<double>(options_.eta);
+  size_t r_min = options_.min_budget > 0
+                     ? options_.min_budget
+                     : std::max<size_t>(
+                           20, static_cast<size_t>(
+                                   static_cast<double>(train.n()) /
+                                   std::pow(eta, 3)));
+  r_min = std::min(r_min, train.n());
+
+  // Rung k evaluates at budget r_min * eta^k, capped at n; the top rung is
+  // the first one that reaches the full dataset.
+  std::vector<size_t> rung_budget;
+  for (size_t b = r_min;; b = static_cast<size_t>(b * eta)) {
+    rung_budget.push_back(std::min(b, train.n()));
+    if (rung_budget.back() >= train.n()) break;
+  }
+  size_t top = rung_budget.size() - 1;
+
+  std::vector<std::vector<RungEntry>> rungs(rung_budget.size());
+  HpoResult result;
+  bool have_best = false;
+
+  auto run_job = [&](const Configuration& config,
+                     size_t rung) -> Status {
+    BHPO_ASSIGN_OR_RETURN(
+        EvalResult eval,
+        strategy_->Evaluate(config, train, rung_budget[rung], rng));
+    rungs[rung].push_back({config, eval.score, false});
+    result.history.push_back({config, eval.score, eval.budget_used});
+    ++result.num_evaluations;
+    result.total_instances += eval.budget_used;
+    if (rung == top && (!have_best || eval.score > result.best_score)) {
+      result.best_score = eval.score;
+      result.best_config = config;
+      have_best = true;
+    }
+    return Status::OK();
+  };
+
+  for (size_t job = 0; job < options_.max_jobs; ++job) {
+    // ASHA promotion rule: scan rungs top-down for a configuration that is
+    // in the top 1/eta of its rung and not yet promoted.
+    bool promoted = false;
+    for (size_t k = top; k-- > 0 && !promoted;) {
+      size_t promotable = static_cast<size_t>(
+          std::floor(static_cast<double>(rungs[k].size()) / eta));
+      if (promotable == 0) continue;
+      std::vector<double> scores;
+      scores.reserve(rungs[k].size());
+      for (const RungEntry& e : rungs[k]) scores.push_back(e.score);
+      for (size_t idx : TopIndicesByScore(scores, promotable)) {
+        if (!rungs[k][idx].promoted) {
+          rungs[k][idx].promoted = true;
+          BHPO_RETURN_NOT_OK(run_job(rungs[k][idx].config, k + 1));
+          promoted = true;
+          break;
+        }
+      }
+    }
+    if (!promoted) {
+      BHPO_RETURN_NOT_OK(run_job(space_->Sample(rng), 0));
+    }
+  }
+
+  if (!have_best) {
+    // No configuration reached the top rung within max_jobs; fall back to
+    // the best entry of the highest populated rung.
+    for (size_t k = rung_budget.size(); k-- > 0;) {
+      if (rungs[k].empty()) continue;
+      for (const RungEntry& e : rungs[k]) {
+        if (!have_best || e.score > result.best_score) {
+          result.best_score = e.score;
+          result.best_config = e.config;
+          have_best = true;
+        }
+      }
+      break;
+    }
+  }
+  if (!have_best) {
+    return Status::Internal("asha ran no evaluations");
+  }
+  return result;
+}
+
+}  // namespace bhpo

@@ -1,0 +1,50 @@
+#ifndef BHPO_HPO_ASHA_H_
+#define BHPO_HPO_ASHA_H_
+
+#include <vector>
+
+#include "hpo/config_space.h"
+#include "hpo/optimizer.h"
+
+namespace bhpo {
+
+struct AshaOptions {
+  int eta = 2;
+  // Budget of rung 0; 0 = auto: max(4 * 5, n / eta^3).
+  size_t min_budget = 0;
+  // Total evaluation jobs to run (the stopping criterion of the
+  // sequential simulation).
+  size_t max_jobs = 60;
+};
+
+// Asynchronous Successive Halving (Li et al. 2018). ASHA's core idea is a
+// promotion rule that never waits for a rung to fill: whenever a worker
+// asks for a job, the scheduler promotes the best not-yet-promoted
+// configuration from the highest rung where it sits in the top 1/eta,
+// otherwise it starts a fresh configuration at rung 0. We run that exact
+// scheduling logic in a sequential simulation (one worker), which keeps the
+// algorithmic behaviour — early promotions based on partial rung
+// information — without threads.
+class Asha : public HpoOptimizer {
+ public:
+  Asha(const ConfigSpace* space, EvalStrategy* strategy,
+       AshaOptions options = {})
+      : space_(space), strategy_(strategy), options_(options) {
+    BHPO_CHECK(space != nullptr && strategy != nullptr);
+    BHPO_CHECK_GE(options_.eta, 2);
+    BHPO_CHECK_GT(options_.max_jobs, 0u);
+  }
+
+  Result<HpoResult> Optimize(const Dataset& train, Rng* rng) override;
+
+  std::string name() const override { return "asha"; }
+
+ private:
+  const ConfigSpace* space_;
+  EvalStrategy* strategy_;
+  AshaOptions options_;
+};
+
+}  // namespace bhpo
+
+#endif  // BHPO_HPO_ASHA_H_

@@ -1,0 +1,27 @@
+#include "hpo/beta_weight.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace bhpo {
+
+double BetaGammaMin(double beta_max) {
+  BHPO_CHECK_GT(beta_max, 0.0);
+  return 50.0 * (1.0 - std::tanh(beta_max / 4.0));
+}
+
+double BetaGammaMax(double beta_max) {
+  BHPO_CHECK_GT(beta_max, 0.0);
+  return 50.0 * (1.0 + std::tanh(beta_max / 4.0));
+}
+
+double BetaWeight(double gamma_percent, double beta_max) {
+  BHPO_CHECK_GT(beta_max, 0.0);
+  double clipped = std::clamp(gamma_percent, BetaGammaMin(beta_max),
+                              BetaGammaMax(beta_max));
+  return 2.0 * std::atanh(1.0 - clipped / 50.0) + beta_max / 2.0;
+}
+
+}  // namespace bhpo

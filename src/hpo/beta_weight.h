@@ -1,0 +1,29 @@
+#ifndef BHPO_HPO_BETA_WEIGHT_H_
+#define BHPO_HPO_BETA_WEIGHT_H_
+
+namespace bhpo {
+
+// The sampling-size weight beta(gamma) of Equation 2 (Figure 3).
+//
+// gamma is the sampling ratio in PERCENT: gamma = |b_t| / |B| * 100.
+// With clip(g) = max(gamma_min, min(gamma_max, g)):
+//
+//   beta(gamma) = 2 * atanh(1 - clip(gamma)/50) + beta_max / 2
+//
+//   gamma_min = 50 * (1 - tanh(beta_max/4))
+//   gamma_max = 50 * (1 + tanh(beta_max/4))
+//
+// so beta decreases monotonically from beta_max (at gamma_min) through
+// beta_max/2 (at 50%) to 0 (at gamma_max), symmetric about 50% — small
+// subsets weight variance heavily, large subsets not at all. The paper
+// recommends beta_max = 1/alpha so the combined weight alpha*beta spans
+// [0, 1]; the experiments use alpha = 0.1, beta_max = 10.
+double BetaWeight(double gamma_percent, double beta_max);
+
+// The clipping thresholds (in percent).
+double BetaGammaMin(double beta_max);
+double BetaGammaMax(double beta_max);
+
+}  // namespace bhpo
+
+#endif  // BHPO_HPO_BETA_WEIGHT_H_

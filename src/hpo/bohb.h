@@ -1,0 +1,79 @@
+#ifndef BHPO_HPO_BOHB_H_
+#define BHPO_HPO_BOHB_H_
+
+#include <map>
+#include <vector>
+
+#include "hpo/hyperband.h"
+
+namespace bhpo {
+
+// TPE-style model for categorical spaces, following BOHB (Falkner et al.
+// 2018): observations at the highest budget with enough data are split
+// into "good" (top fraction by score) and "bad"; each hyperparameter gets
+// smoothed categorical densities l(v) (good) and g(v) (bad); candidates
+// drawn from l are ranked by the density ratio l/g.
+struct TpeOptions {
+  // Minimum observations (at one budget) before the model activates;
+  // before that, sampling is uniform.
+  size_t min_points = 8;
+  // Fraction of observations labeled "good".
+  double top_fraction = 0.15;
+  // Candidates drawn per Sample call; the best ratio wins.
+  size_t num_candidates = 24;
+  // Fraction of purely random samples, BOHB's exploration safeguard.
+  double random_fraction = 1.0 / 3.0;
+  // Laplace smoothing added to every category count ("bandwidth").
+  double smoothing = 1.0;
+};
+
+class TpeConfigSampler : public ConfigSampler {
+ public:
+  TpeConfigSampler(const ConfigSpace* space, TpeOptions options = {})
+      : space_(space), options_(options) {
+    BHPO_CHECK(space != nullptr);
+  }
+
+  Configuration Sample(Rng* rng) override;
+  void Observe(const Configuration& config, double score,
+               size_t budget) override;
+  std::string name() const override { return "tpe"; }
+
+  // Largest budget currently holding >= min_points observations (0 if
+  // none); exposed for tests.
+  size_t ModelBudget() const;
+
+ private:
+  struct Observation {
+    Configuration config;
+    double score;
+  };
+
+  const ConfigSpace* space_;
+  TpeOptions options_;
+  std::map<size_t, std::vector<Observation>> by_budget_;
+};
+
+// BOHB = Hyperband whose brackets draw configurations from the TPE model.
+// With EnhancedStrategy this is the paper's BOHB+.
+class Bohb : public HpoOptimizer {
+ public:
+  Bohb(const ConfigSpace* space, EvalStrategy* strategy,
+       HyperbandOptions hb_options = {}, TpeOptions tpe_options = {})
+      : sampler_(space, tpe_options),
+        hyperband_(&sampler_, strategy, hb_options) {}
+
+  Result<HpoResult> Optimize(const Dataset& train, Rng* rng) override {
+    return hyperband_.Optimize(train, rng);
+  }
+
+  std::string name() const override { return "bohb"; }
+
+ private:
+  TpeConfigSampler sampler_;
+  Hyperband hyperband_;
+};
+
+}  // namespace bhpo
+
+#endif  // BHPO_HPO_BOHB_H_

@@ -1,0 +1,132 @@
+#include "hpo/config_space.h"
+
+#include "common/check.h"
+
+namespace bhpo {
+
+Status ConfigSpace::Add(const std::string& name,
+                        std::vector<std::string> values) {
+  if (name.empty()) {
+    return Status::InvalidArgument("hyperparameter name must be non-empty");
+  }
+  if (values.empty()) {
+    return Status::InvalidArgument("hyperparameter '" + name +
+                                   "' needs a non-empty domain");
+  }
+  for (const Hyperparameter& p : params_) {
+    if (p.name == name) {
+      return Status::AlreadyExists("hyperparameter '" + name +
+                                   "' already in the space");
+    }
+  }
+  params_.push_back({name, std::move(values)});
+  return Status::OK();
+}
+
+const Hyperparameter& ConfigSpace::param(size_t i) const {
+  BHPO_CHECK_LT(i, params_.size());
+  return params_[i];
+}
+
+Result<size_t> ConfigSpace::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (params_[i].name == name) return i;
+  }
+  return Status::NotFound("hyperparameter '" + name + "' not in the space");
+}
+
+size_t ConfigSpace::GridSize() const {
+  size_t total = 1;
+  for (const Hyperparameter& p : params_) total *= p.values.size();
+  return total;
+}
+
+Configuration ConfigSpace::AtGridIndex(size_t g) const {
+  BHPO_CHECK_LT(g, GridSize());
+  Configuration config;
+  // Mixed-radix decomposition, first hyperparameter most significant.
+  size_t remainder = g;
+  for (size_t i = params_.size(); i-- > 0;) {
+    size_t radix = params_[i].values.size();
+    size_t digit = remainder % radix;
+    remainder /= radix;
+    config.Set(params_[i].name, params_[i].values[digit]);
+  }
+  return config;
+}
+
+std::vector<Configuration> ConfigSpace::EnumerateGrid() const {
+  std::vector<Configuration> out;
+  out.reserve(GridSize());
+  for (size_t g = 0; g < GridSize(); ++g) out.push_back(AtGridIndex(g));
+  return out;
+}
+
+Configuration ConfigSpace::Sample(Rng* rng) const {
+  BHPO_CHECK(rng != nullptr);
+  Configuration config;
+  for (const Hyperparameter& p : params_) {
+    config.Set(p.name, p.values[rng->UniformIndex(p.values.size())]);
+  }
+  return config;
+}
+
+std::vector<double> ConfigSpace::Encode(const Configuration& config) const {
+  std::vector<double> vec(params_.size(), 0.5);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const Hyperparameter& param = params_[i];
+    std::string value = config.GetOr(param.name, "");
+    for (size_t vi = 0; vi < param.values.size(); ++vi) {
+      if (param.values[vi] == value) {
+        vec[i] = (static_cast<double>(vi) + 0.5) /
+                 static_cast<double>(param.values.size());
+        break;
+      }
+    }
+  }
+  return vec;
+}
+
+Configuration ConfigSpace::Decode(const std::vector<double>& vec) const {
+  BHPO_CHECK_EQ(vec.size(), params_.size());
+  Configuration config;
+  for (size_t i = 0; i < vec.size(); ++i) {
+    const Hyperparameter& param = params_[i];
+    double x = vec[i] < 0.0 ? 0.0 : vec[i];
+    size_t vi = std::min(param.values.size() - 1,
+                         static_cast<size_t>(
+                             x * static_cast<double>(param.values.size())));
+    config.Set(param.name, param.values[vi]);
+  }
+  return config;
+}
+
+ConfigSpace ConfigSpace::PaperSpace(int num_hyperparameters) {
+  BHPO_CHECK(num_hyperparameters >= 1 && num_hyperparameters <= 8);
+  struct Entry {
+    const char* name;
+    std::vector<std::string> values;
+  };
+  // Table III, in the paper's order ("we sequentially added new
+  // hyperparameters to the configuration space according to the order in
+  // Table III").
+  const Entry kTable3[] = {
+      {"hidden_layer_sizes",
+       {"(30)", "(30,30)", "(40)", "(40,40)", "(50)", "(50,50)"}},
+      {"activation", {"logistic", "tanh", "relu"}},
+      {"solver", {"lbfgs", "sgd", "adam"}},
+      {"learning_rate_init", {"0.1", "0.05", "0.01"}},
+      {"batch_size", {"32", "64", "128"}},
+      {"learning_rate", {"constant", "invscaling", "adaptive"}},
+      {"momentum", {"0.7", "0.8", "0.9"}},
+      {"early_stopping", {"true", "false"}},
+  };
+  ConfigSpace space;
+  for (int i = 0; i < num_hyperparameters; ++i) {
+    Status st = space.Add(kTable3[i].name, kTable3[i].values);
+    BHPO_CHECK(st.ok()) << st.ToString();
+  }
+  return space;
+}
+
+}  // namespace bhpo

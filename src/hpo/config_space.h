@@ -1,0 +1,67 @@
+#ifndef BHPO_HPO_CONFIG_SPACE_H_
+#define BHPO_HPO_CONFIG_SPACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "hpo/configuration.h"
+
+namespace bhpo {
+
+// One categorical hyperparameter and its finite domain.
+struct Hyperparameter {
+  std::string name;
+  std::vector<std::string> values;
+};
+
+// The search space T: an ordered set of categorical hyperparameters whose
+// cross product enumerates every configuration (Table III's space is
+// 6*3*3*3*3*3*3*2 = 8748 configurations over 8 hyperparameters).
+class ConfigSpace {
+ public:
+  ConfigSpace() = default;
+
+  // Name must be unique and the domain non-empty.
+  Status Add(const std::string& name, std::vector<std::string> values);
+
+  size_t num_hyperparameters() const { return params_.size(); }
+  const Hyperparameter& param(size_t i) const;
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  // Grid cardinality (product of domain sizes); 1 for an empty space.
+  size_t GridSize() const;
+
+  // Configuration at mixed-radix grid index g in [0, GridSize()).
+  Configuration AtGridIndex(size_t g) const;
+
+  // All GridSize() configurations in grid order.
+  std::vector<Configuration> EnumerateGrid() const;
+
+  // Uniform random configuration.
+  Configuration Sample(Rng* rng) const;
+
+  // Numeric embedding of a configuration into [0,1)^d (one dimension per
+  // hyperparameter; each categorical value maps to the center of a uniform
+  // bin). Decode snaps to the containing bin, clamping out-of-range
+  // coordinates. Shared by the model-based optimizers (DEHB's differential
+  // evolution, SMAC's random-forest surrogate).
+  std::vector<double> Encode(const Configuration& config) const;
+  Configuration Decode(const std::vector<double>& vec) const;
+
+  // The paper's Table III search space truncated to its first
+  // `num_hyperparameters` entries (Figure 4 sweeps this from 1 to 8):
+  //   hidden_layer_sizes, activation, solver, learning_rate_init,
+  //   batch_size, learning_rate, momentum, early_stopping.
+  // The first four give the 162-configuration space of the Table IV
+  // experiment.
+  static ConfigSpace PaperSpace(int num_hyperparameters = 8);
+
+ private:
+  std::vector<Hyperparameter> params_;
+};
+
+}  // namespace bhpo
+
+#endif  // BHPO_HPO_CONFIG_SPACE_H_

@@ -1,0 +1,62 @@
+#include "hpo/configuration.h"
+
+#include <algorithm>
+
+namespace bhpo {
+
+void Configuration::Set(const std::string& name, const std::string& value) {
+  for (auto& [key, existing] : items_) {
+    if (key == name) {
+      existing = value;
+      return;
+    }
+  }
+  items_.emplace_back(name, value);
+}
+
+bool Configuration::Has(const std::string& name) const {
+  for (const auto& [key, value] : items_) {
+    if (key == name) return true;
+  }
+  return false;
+}
+
+Result<std::string> Configuration::Get(const std::string& name) const {
+  for (const auto& [key, value] : items_) {
+    if (key == name) return value;
+  }
+  return Status::NotFound("hyperparameter '" + name + "' not set");
+}
+
+std::string Configuration::GetOr(const std::string& name,
+                                 const std::string& fallback) const {
+  for (const auto& [key, value] : items_) {
+    if (key == name) return value;
+  }
+  return fallback;
+}
+
+std::string Configuration::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += items_[i].first + "=" + items_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+std::string Configuration::Key() const {
+  std::vector<std::pair<std::string, std::string>> sorted = items_;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const auto& [key, value] : sorted) {
+    out += key;
+    out += '\x1f';
+    out += value;
+    out += '\x1e';
+  }
+  return out;
+}
+
+}  // namespace bhpo

@@ -1,0 +1,51 @@
+#ifndef BHPO_HPO_CONFIGURATION_H_
+#define BHPO_HPO_CONFIGURATION_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bhpo {
+
+// One hyperparameter configuration tau_i: an ordered list of
+// (name, value) pairs. Values are stored as strings — every hyperparameter
+// in the paper's Table III space is categorical — and parsed by the model
+// factory. Self-contained (no pointer back to the space), so configurations
+// can be stored, hashed and compared freely.
+class Configuration {
+ public:
+  Configuration() = default;
+
+  // Sets or overwrites a hyperparameter value.
+  void Set(const std::string& name, const std::string& value);
+
+  bool Has(const std::string& name) const;
+  Result<std::string> Get(const std::string& name) const;
+  // Returns `fallback` when the hyperparameter is absent.
+  std::string GetOr(const std::string& name, const std::string& fallback) const;
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  const std::vector<std::pair<std::string, std::string>>& items() const {
+    return items_;
+  }
+
+  // "{a=1, b=relu}" — stable (insertion) order.
+  std::string ToString() const;
+
+  // Canonical key (sorted by name) for dedup and hashing.
+  std::string Key() const;
+
+  bool operator==(const Configuration& other) const {
+    return Key() == other.Key();
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> items_;
+};
+
+}  // namespace bhpo
+
+#endif  // BHPO_HPO_CONFIGURATION_H_

@@ -1,0 +1,72 @@
+#include "hpo/dehb.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bhpo {
+
+std::vector<double> DeConfigSampler::Encode(const Configuration& config) const {
+  return space_->Encode(config);
+}
+
+Configuration DeConfigSampler::Decode(const std::vector<double>& vec) const {
+  return space_->Decode(vec);
+}
+
+void DeConfigSampler::Observe(const Configuration& config, double score,
+                              size_t budget) {
+  observations_.push_back({Encode(config), score, budget});
+}
+
+Configuration DeConfigSampler::Sample(Rng* rng) {
+  BHPO_CHECK(rng != nullptr);
+  if (observations_.size() < options_.min_points) {
+    return space_->Sample(rng);
+  }
+
+  // Population: the best `population_size` observations, preferring higher
+  // budgets on ties (higher fidelity is more trustworthy).
+  std::vector<size_t> order(observations_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (observations_[a].score != observations_[b].score) {
+      return observations_[a].score > observations_[b].score;
+    }
+    return observations_[a].budget > observations_[b].budget;
+  });
+  size_t pop = std::min(options_.population_size, order.size());
+  if (pop < 3) return space_->Sample(rng);
+
+  // rand/1 mutation: v = a + F * (b - c) with distinct population members.
+  size_t ia = order[rng->UniformIndex(pop)];
+  size_t ib = order[rng->UniformIndex(pop)];
+  size_t ic = order[rng->UniformIndex(pop)];
+  for (int guard = 0; (ib == ia || ic == ia || ic == ib) && guard < 32;
+       ++guard) {
+    ib = order[rng->UniformIndex(pop)];
+    ic = order[rng->UniformIndex(pop)];
+  }
+  const std::vector<double>& a = observations_[ia].encoded;
+  const std::vector<double>& b = observations_[ib].encoded;
+  const std::vector<double>& c = observations_[ic].encoded;
+
+  size_t dims = a.size();
+  std::vector<double> trial = a;
+  // Binomial crossover against the population's best member, with at least
+  // one mutated coordinate (the forced index).
+  const std::vector<double>& best = observations_[order[0]].encoded;
+  size_t forced = rng->UniformIndex(dims);
+  for (size_t d = 0; d < dims; ++d) {
+    double mutated = a[d] + options_.mutation_factor * (b[d] - c[d]);
+    // Reflect back into [0, 1).
+    while (mutated < 0.0 || mutated >= 1.0) {
+      if (mutated < 0.0) mutated = -mutated;
+      if (mutated >= 1.0) mutated = 2.0 - mutated - 1e-12;
+    }
+    bool take_mutant = d == forced || rng->Uniform() < options_.crossover_prob;
+    trial[d] = take_mutant ? mutated : best[d];
+  }
+  return Decode(trial);
+}
+
+}  // namespace bhpo

@@ -1,0 +1,117 @@
+#ifndef BHPO_HPO_EVAL_STRATEGY_H_
+#define BHPO_HPO_EVAL_STRATEGY_H_
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "cv/cross_validate.h"
+#include "cv/gen_folds.h"
+#include "cv/grouping.h"
+#include "data/dataset.h"
+#include "hpo/configuration.h"
+#include "hpo/model_factory.h"
+#include "hpo/scoring.h"
+
+namespace bhpo {
+
+// Outcome of evaluating one configuration under a budget of b_t instances.
+struct EvalResult {
+  CvOutcome cv;
+  // The score the halving operation ranks by (mean, or Equation 3).
+  double score = 0.0;
+  // Sampling ratio |b_t| / |B| in percent.
+  double gamma_percent = 0.0;
+  // Instances actually used (budget after clamping).
+  size_t budget_used = 0;
+};
+
+// Shared knobs of both strategies.
+struct StrategyOptions {
+  // Total folds per evaluation; the paper uses 5 everywhere.
+  size_t num_folds = 5;
+  EvalMetric metric = EvalMetric::kAuto;
+  // Per-model training knobs.
+  FactoryOptions factory;
+};
+
+// How a bandit-based optimizer evaluates one configuration: sample a subset
+// of `budget` instances from `train`, build CV folds over it, train/score
+// per fold, and reduce to a single score. The vanilla and enhanced
+// implementations differ in all three steps — that difference IS the
+// paper's contribution.
+class EvalStrategy {
+ public:
+  virtual ~EvalStrategy() = default;
+
+  virtual Result<EvalResult> Evaluate(const Configuration& config,
+                                      const Dataset& train, size_t budget,
+                                      Rng* rng) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// Baseline: stratified (or uniform) subset sampling + label-stratified (or
+// random) k-fold + mean fold score.
+class VanillaStrategy : public EvalStrategy {
+ public:
+  explicit VanillaStrategy(StrategyOptions options = {},
+                           bool stratified = true)
+      : options_(options), stratified_(stratified) {}
+
+  Result<EvalResult> Evaluate(const Configuration& config,
+                              const Dataset& train, size_t budget,
+                              Rng* rng) override;
+
+  std::string name() const override {
+    return stratified_ ? "vanilla-stratified" : "vanilla-random";
+  }
+
+ private:
+  StrategyOptions options_;
+  bool stratified_;
+};
+
+// The paper's method: group-based subset sampling (Operation 1), general +
+// special folds (Operation 2) and the variance/size-aware score
+// (Equation 3). Bound to the training set its grouping was built over.
+class EnhancedStrategy : public EvalStrategy {
+ public:
+  // Builds the grouping over `train` once, before optimization starts
+  // (Figure 2 (a)-(d)). fold_options.k_gen + k_spe must equal
+  // options.num_folds.
+  static Result<std::unique_ptr<EnhancedStrategy>> Create(
+      const Dataset& train, const GroupingOptions& grouping_options,
+      const GenFoldsOptions& fold_options, const ScoringOptions& scoring,
+      const StrategyOptions& options);
+
+  Result<EvalResult> Evaluate(const Configuration& config,
+                              const Dataset& train, size_t budget,
+                              Rng* rng) override;
+
+  std::string name() const override { return "enhanced"; }
+
+  const Grouping& grouping() const { return grouping_; }
+
+ private:
+  EnhancedStrategy(Grouping grouping, GenFoldsOptions fold_options,
+                   ScoringOptions scoring, StrategyOptions options)
+      : grouping_(std::move(grouping)),
+        fold_options_(fold_options),
+        scoring_(scoring),
+        options_(options) {}
+
+  Grouping grouping_;
+  GenFoldsOptions fold_options_;
+  ScoringOptions scoring_;
+  StrategyOptions options_;
+};
+
+// Clamps a requested budget to something cross-validatable:
+// [2 * num_folds, n].
+size_t ClampBudget(size_t budget, size_t n, size_t num_folds);
+
+}  // namespace bhpo
+
+#endif  // BHPO_HPO_EVAL_STRATEGY_H_

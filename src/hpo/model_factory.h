@@ -1,0 +1,59 @@
+#ifndef BHPO_HPO_MODEL_FACTORY_H_
+#define BHPO_HPO_MODEL_FACTORY_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "cv/cross_validate.h"
+#include "hpo/configuration.h"
+#include "ml/mlp.h"
+#include "ml/gbdt.h"
+#include "ml/random_forest.h"
+
+namespace bhpo {
+
+// Training knobs that are fixed per experiment rather than searched over.
+struct FactoryOptions {
+  // Epoch / iteration budget per model fit. The paper uses scikit-learn
+  // defaults (200); we default lower for the scaled-down benches.
+  int max_iter = 60;
+  uint64_t seed = 0;
+};
+
+// Translates a Table III configuration into an MlpConfig. Hyperparameters
+// absent from the configuration keep scikit-learn's defaults, so truncated
+// spaces (Figure 4's 1..8 hyperparameter sweep) work unchanged. Fails on
+// unparsable values (e.g. a malformed hidden_layer_sizes tuple).
+Result<MlpConfig> MlpConfigFromConfiguration(const Configuration& config,
+                                             const FactoryOptions& options);
+
+// Parses "(30,30)"-style tuples (parentheses optional).
+Result<std::vector<size_t>> ParseHiddenLayers(const std::string& text);
+
+// Wraps the translation into the CV ModelFactory callback. The
+// configuration is resolved eagerly: an invalid configuration surfaces here
+// rather than mid-search.
+Result<ModelFactory> MakeMlpFactory(const Configuration& config,
+                                    const FactoryOptions& options);
+
+// Translates a configuration into a random-forest config. Recognized
+// hyperparameters: num_trees, max_depth, min_samples_leaf, max_features
+// (all integers; absent ones keep the defaults).
+Result<RandomForestConfig> RandomForestConfigFromConfiguration(
+    const Configuration& config, const FactoryOptions& options);
+
+// Translates a configuration into a GBDT config. Recognized
+// hyperparameters: num_rounds, max_depth, min_samples_leaf (integers),
+// learning_rate_init, subsample (doubles).
+Result<GbdtConfig> GbdtConfigFromConfiguration(const Configuration& config,
+                                               const FactoryOptions& options);
+
+// Model-family dispatch: the optional "model" hyperparameter selects
+// "mlp" (default), "random_forest" or "gbdt", so a single search space can
+// span model families (the CASH setting mentioned in Section II-A).
+Result<ModelFactory> MakeModelFactory(const Configuration& config,
+                                      const FactoryOptions& options);
+
+}  // namespace bhpo
+
+#endif  // BHPO_HPO_MODEL_FACTORY_H_

@@ -1,0 +1,24 @@
+#include "hpo/optimizer.h"
+
+#include <memory>
+
+#include "ml/mlp.h"
+
+namespace bhpo {
+
+Result<FinalEvaluation> EvaluateFinalConfig(const Configuration& config,
+                                            const Dataset& train,
+                                            const Dataset& test,
+                                            EvalMetric metric,
+                                            const FactoryOptions& options) {
+  BHPO_ASSIGN_OR_RETURN(ModelFactory factory,
+                        MakeModelFactory(config, options));
+  std::unique_ptr<Model> model = factory();
+  BHPO_RETURN_NOT_OK(model->Fit(train));
+  FinalEvaluation out;
+  out.train_metric = EvaluateModel(*model, train, metric);
+  out.test_metric = EvaluateModel(*model, test, metric);
+  return out;
+}
+
+}  // namespace bhpo

@@ -1,0 +1,61 @@
+#ifndef BHPO_HPO_OPTIMIZER_H_
+#define BHPO_HPO_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "hpo/eval_strategy.h"
+
+namespace bhpo {
+
+// One configuration evaluation during a search.
+struct EvaluationRecord {
+  Configuration config;
+  double score = 0.0;
+  size_t budget = 0;
+};
+
+// The outcome of a hyperparameter search.
+struct HpoResult {
+  Configuration best_config;
+  // Internal (CV) score of the winning configuration at its final budget.
+  double best_score = 0.0;
+  size_t num_evaluations = 0;
+  // Sum of instance budgets over all evaluations — the hardware-independent
+  // cost proxy the bandit methods reason about.
+  size_t total_instances = 0;
+  std::vector<EvaluationRecord> history;
+};
+
+// Common interface of random search, SHA, Hyperband, BOHB and ASHA. An
+// optimizer is wired to an EvalStrategy at construction; running the same
+// optimizer with VanillaStrategy vs EnhancedStrategy gives the paper's
+// "X" vs "X+" pairs.
+class HpoOptimizer {
+ public:
+  virtual ~HpoOptimizer() = default;
+
+  virtual Result<HpoResult> Optimize(const Dataset& train, Rng* rng) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// Trains the chosen configuration on the full training set and scores it on
+// train and test — the paper's "trainAcc./testAcc." rows.
+struct FinalEvaluation {
+  double train_metric = 0.0;
+  double test_metric = 0.0;
+};
+
+Result<FinalEvaluation> EvaluateFinalConfig(const Configuration& config,
+                                            const Dataset& train,
+                                            const Dataset& test,
+                                            EvalMetric metric,
+                                            const FactoryOptions& options);
+
+}  // namespace bhpo
+
+#endif  // BHPO_HPO_OPTIMIZER_H_

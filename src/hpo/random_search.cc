@@ -1,0 +1,25 @@
+#include "hpo/random_search.h"
+
+namespace bhpo {
+
+Result<HpoResult> RandomSearch::Optimize(const Dataset& train, Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("null rng");
+  HpoResult result;
+  bool have_best = false;
+  for (size_t i = 0; i < num_samples_; ++i) {
+    Configuration config = space_->Sample(rng);
+    BHPO_ASSIGN_OR_RETURN(EvalResult eval,
+                          strategy_->Evaluate(config, train, train.n(), rng));
+    result.history.push_back({config, eval.score, eval.budget_used});
+    ++result.num_evaluations;
+    result.total_instances += eval.budget_used;
+    if (!have_best || eval.score > result.best_score) {
+      result.best_score = eval.score;
+      result.best_config = config;
+      have_best = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace bhpo

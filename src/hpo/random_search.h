@@ -1,0 +1,34 @@
+#ifndef BHPO_HPO_RANDOM_SEARCH_H_
+#define BHPO_HPO_RANDOM_SEARCH_H_
+
+#include "hpo/config_space.h"
+#include "hpo/optimizer.h"
+
+namespace bhpo {
+
+// The paper's "random" baseline: sample num_samples configurations
+// uniformly, evaluate each with the FULL instance budget (no halving), and
+// keep the best score. The paper samples 10.
+class RandomSearch : public HpoOptimizer {
+ public:
+  // `space` and `strategy` must outlive the optimizer.
+  RandomSearch(const ConfigSpace* space, EvalStrategy* strategy,
+               size_t num_samples = 10)
+      : space_(space), strategy_(strategy), num_samples_(num_samples) {
+    BHPO_CHECK(space != nullptr && strategy != nullptr);
+    BHPO_CHECK_GT(num_samples, 0u);
+  }
+
+  Result<HpoResult> Optimize(const Dataset& train, Rng* rng) override;
+
+  std::string name() const override { return "random"; }
+
+ private:
+  const ConfigSpace* space_;
+  EvalStrategy* strategy_;
+  size_t num_samples_;
+};
+
+}  // namespace bhpo
+
+#endif  // BHPO_HPO_RANDOM_SEARCH_H_

@@ -1,0 +1,14 @@
+#include "hpo/scoring.h"
+
+#include "hpo/beta_weight.h"
+
+namespace bhpo {
+
+double ScoreOutcome(const CvOutcome& outcome, double gamma_percent,
+                    const ScoringOptions& options) {
+  if (!options.use_variance) return outcome.mean;
+  double beta = BetaWeight(gamma_percent, options.beta_max);
+  return outcome.mean + options.alpha * beta * outcome.stddev;
+}
+
+}  // namespace bhpo

@@ -1,0 +1,102 @@
+#include "hpo/sha.h"
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+
+namespace bhpo {
+
+std::vector<size_t> TopIndicesByScore(const std::vector<double>& scores,
+                                      size_t keep) {
+  keep = std::min(keep, scores.size());
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  order.resize(keep);
+  return order;
+}
+
+Result<std::vector<EvalResult>> EvaluateBatch(
+    EvalStrategy* strategy, const std::vector<Configuration>& configs,
+    const Dataset& train, size_t budget, Rng* rng, ThreadPool* pool) {
+  // Fork one RNG per candidate up front: the evaluation order (and hence
+  // the result) is then independent of scheduling.
+  std::vector<Rng> rngs;
+  rngs.reserve(configs.size());
+  for (size_t i = 0; i < configs.size(); ++i) rngs.push_back(rng->Fork());
+
+  std::vector<std::optional<Result<EvalResult>>> raw(configs.size());
+  auto evaluate_one = [&](size_t i) {
+    raw[i] = strategy->Evaluate(configs[i], train, budget, &rngs[i]);
+  };
+  if (pool != nullptr && configs.size() > 1) {
+    pool->ParallelFor(configs.size(), evaluate_one);
+  } else {
+    for (size_t i = 0; i < configs.size(); ++i) evaluate_one(i);
+  }
+
+  std::vector<EvalResult> results;
+  results.reserve(configs.size());
+  for (auto& r : raw) {
+    BHPO_CHECK(r.has_value());
+    if (!r->ok()) return r->status();
+    results.push_back(std::move(**r));
+  }
+  return results;
+}
+
+Result<HpoResult> SuccessiveHalving::Optimize(const Dataset& train, Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("null rng");
+
+  HpoResult result;
+  std::vector<Configuration> survivors = candidates_;
+  size_t total_budget = train.n();  // B = n (Table I).
+  double last_best_score = 0.0;
+
+  while (survivors.size() > 1) {
+    size_t per_config = std::max<size_t>(1, total_budget / survivors.size());
+
+    BHPO_ASSIGN_OR_RETURN(
+        std::vector<EvalResult> evals,
+        EvaluateBatch(strategy_, survivors, train, per_config, rng,
+                      options_.pool));
+    std::vector<double> scores(survivors.size());
+    for (size_t i = 0; i < survivors.size(); ++i) {
+      scores[i] = evals[i].score;
+      result.history.push_back(
+          {survivors[i], evals[i].score, evals[i].budget_used});
+      ++result.num_evaluations;
+      result.total_instances += evals[i].budget_used;
+    }
+
+    size_t keep = std::max<size_t>(
+        1, (survivors.size() + options_.eta - 1) /
+               static_cast<size_t>(options_.eta));
+    std::vector<size_t> kept = TopIndicesByScore(scores, keep);
+    last_best_score = scores[kept.front()];
+
+    std::vector<Configuration> next;
+    next.reserve(kept.size());
+    for (size_t idx : kept) next.push_back(std::move(survivors[idx]));
+    survivors = std::move(next);
+  }
+
+  result.best_config = survivors.front();
+  if (candidates_.size() == 1) {
+    // Degenerate space: score the lone candidate at full budget.
+    BHPO_ASSIGN_OR_RETURN(
+        EvalResult eval,
+        strategy_->Evaluate(result.best_config, train, train.n(), rng));
+    last_best_score = eval.score;
+    result.history.push_back(
+        {result.best_config, eval.score, eval.budget_used});
+    ++result.num_evaluations;
+    result.total_instances += eval.budget_used;
+  }
+  result.best_score = last_best_score;
+  return result;
+}
+
+}  // namespace bhpo

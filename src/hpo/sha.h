@@ -1,0 +1,66 @@
+#ifndef BHPO_HPO_SHA_H_
+#define BHPO_HPO_SHA_H_
+
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "hpo/optimizer.h"
+
+namespace bhpo {
+
+struct ShaOptions {
+  // Keep the top 1/eta of the candidates each iteration; 2 = halving, the
+  // paper's Figure 1 schedule.
+  int eta = 2;
+  // Optional worker pool: candidates within a rung are independent, so
+  // their evaluations run concurrently when a pool is supplied. The
+  // strategy must then be thread-safe for concurrent Evaluate calls (both
+  // built-in strategies are: they only read shared state). Results are
+  // deterministic regardless of thread count — every candidate gets its
+  // own forked RNG stream up front. Not owned; may be null.
+  ThreadPool* pool = nullptr;
+};
+
+// Successive Halving (Jamieson & Talwalkar 2016) with instances as the
+// budget, exactly as Algorithm 1 frames it: each iteration evaluates every
+// surviving configuration on b_t = B / |T_t| instances via k-fold CV, then
+// drops the bottom (eta-1)/eta by score. Plugging in EnhancedStrategy
+// yields the paper's SHA+.
+class SuccessiveHalving : public HpoOptimizer {
+ public:
+  // `strategy` must outlive the optimizer; `candidates` is T_0.
+  SuccessiveHalving(std::vector<Configuration> candidates,
+                    EvalStrategy* strategy, ShaOptions options = {})
+      : candidates_(std::move(candidates)),
+        strategy_(strategy),
+        options_(options) {
+    BHPO_CHECK(strategy != nullptr);
+    BHPO_CHECK(!candidates_.empty());
+    BHPO_CHECK_GE(options_.eta, 2);
+  }
+
+  Result<HpoResult> Optimize(const Dataset& train, Rng* rng) override;
+
+  std::string name() const override { return "sha"; }
+
+ private:
+  std::vector<Configuration> candidates_;
+  EvalStrategy* strategy_;
+  ShaOptions options_;
+};
+
+// Ranks `scores` descending and returns the indices of the `keep` best
+// (stable: earlier candidates win ties). Shared by SHA/Hyperband/ASHA.
+std::vector<size_t> TopIndicesByScore(const std::vector<double>& scores,
+                                      size_t keep);
+
+// Evaluates a rung of configurations at one budget, serially or on the
+// pool (see ShaOptions::pool for the threading contract). Deterministic
+// for a fixed `rng` state regardless of thread count.
+Result<std::vector<EvalResult>> EvaluateBatch(
+    EvalStrategy* strategy, const std::vector<Configuration>& configs,
+    const Dataset& train, size_t budget, Rng* rng, ThreadPool* pool);
+
+}  // namespace bhpo
+
+#endif  // BHPO_HPO_SHA_H_

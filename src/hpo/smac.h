@@ -1,0 +1,58 @@
+#ifndef BHPO_HPO_SMAC_H_
+#define BHPO_HPO_SMAC_H_
+
+#include "hpo/config_space.h"
+#include "hpo/optimizer.h"
+
+namespace bhpo {
+
+struct SmacOptions {
+  // Total full-budget configuration evaluations.
+  size_t num_iterations = 20;
+  // Uniform-random warm start before the surrogate takes over.
+  size_t initial_random = 6;
+  // Candidates scored by the acquisition function per iteration.
+  size_t candidates_per_iteration = 200;
+  // Expected-improvement exploration jitter.
+  double ei_xi = 0.01;
+  // Surrogate forest size.
+  int surrogate_trees = 25;
+};
+
+// SMAC-style sequential model-based optimization (Hutter et al. 2011;
+// SMAC3 is one of the paper's extra baselines in Section IV-B): a
+// random-forest surrogate is fit on (encoded configuration -> observed CV
+// score) pairs, and each iteration evaluates the candidate maximizing
+// expected improvement, estimated from the forest's per-tree mean/stddev.
+// Every evaluation runs at the FULL instance budget — this is the
+// non-multi-fidelity baseline the bandit methods are compared against (the
+// paper found it "performed similarly to random search" under matched time
+// budgets).
+class Smac : public HpoOptimizer {
+ public:
+  Smac(const ConfigSpace* space, EvalStrategy* strategy,
+       SmacOptions options = {})
+      : space_(space), strategy_(strategy), options_(options) {
+    BHPO_CHECK(space != nullptr && strategy != nullptr);
+    BHPO_CHECK_GT(options_.num_iterations, 0u);
+    BHPO_CHECK_GT(options_.initial_random, 0u);
+  }
+
+  Result<HpoResult> Optimize(const Dataset& train, Rng* rng) override;
+
+  std::string name() const override { return "smac"; }
+
+ private:
+  const ConfigSpace* space_;
+  EvalStrategy* strategy_;
+  SmacOptions options_;
+};
+
+// Expected improvement of N(mean, stddev^2) over `best` (maximization),
+// with exploration jitter xi. Exposed for tests.
+double ExpectedImprovement(double mean, double stddev, double best,
+                           double xi);
+
+}  // namespace bhpo
+
+#endif  // BHPO_HPO_SMAC_H_

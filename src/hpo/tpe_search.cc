@@ -1,0 +1,27 @@
+#include "hpo/tpe_search.h"
+
+namespace bhpo {
+
+Result<HpoResult> TpeSearch::Optimize(const Dataset& train, Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("null rng");
+
+  HpoResult result;
+  bool have_best = false;
+  for (size_t iter = 0; iter < options_.num_iterations; ++iter) {
+    Configuration config = sampler_.Sample(rng);
+    BHPO_ASSIGN_OR_RETURN(EvalResult eval,
+                          strategy_->Evaluate(config, train, train.n(), rng));
+    sampler_.Observe(config, eval.score, eval.budget_used);
+    result.history.push_back({config, eval.score, eval.budget_used});
+    ++result.num_evaluations;
+    result.total_instances += eval.budget_used;
+    if (!have_best || eval.score > result.best_score) {
+      result.best_score = eval.score;
+      result.best_config = config;
+      have_best = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace bhpo

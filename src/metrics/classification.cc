@@ -1,0 +1,74 @@
+#include "metrics/classification.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace bhpo {
+
+double Accuracy(const std::vector<int>& actual,
+                const std::vector<int>& predicted) {
+  BHPO_CHECK_EQ(actual.size(), predicted.size());
+  if (actual.empty()) return 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    if (actual[i] == predicted[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(actual.size());
+}
+
+std::vector<std::vector<size_t>> ConfusionMatrix(
+    const std::vector<int>& actual, const std::vector<int>& predicted,
+    int num_classes) {
+  BHPO_CHECK_EQ(actual.size(), predicted.size());
+  BHPO_CHECK_GT(num_classes, 0);
+  std::vector<std::vector<size_t>> m(
+      num_classes, std::vector<size_t>(num_classes, 0));
+  for (size_t i = 0; i < actual.size(); ++i) {
+    BHPO_CHECK(actual[i] >= 0 && actual[i] < num_classes);
+    BHPO_CHECK(predicted[i] >= 0 && predicted[i] < num_classes);
+    ++m[actual[i]][predicted[i]];
+  }
+  return m;
+}
+
+namespace {
+
+// F1 of one class given the confusion matrix; 0 when the class never occurs
+// in either vector.
+double ClassF1(const std::vector<std::vector<size_t>>& confusion, int cls) {
+  size_t tp = confusion[cls][cls];
+  size_t fn = 0, fp = 0;
+  for (size_t other = 0; other < confusion.size(); ++other) {
+    if (static_cast<int>(other) == cls) continue;
+    fn += confusion[cls][other];
+    fp += confusion[other][cls];
+  }
+  double denom = static_cast<double>(2 * tp + fp + fn);
+  if (denom == 0.0) return 0.0;
+  return 2.0 * static_cast<double>(tp) / denom;
+}
+
+}  // namespace
+
+double BinaryF1(const std::vector<int>& actual,
+                const std::vector<int>& predicted) {
+  auto confusion = ConfusionMatrix(actual, predicted, 2);
+  return ClassF1(confusion, 1);
+}
+
+double MacroF1(const std::vector<int>& actual,
+               const std::vector<int>& predicted, int num_classes) {
+  auto confusion = ConfusionMatrix(actual, predicted, num_classes);
+  double total = 0.0;
+  for (int c = 0; c < num_classes; ++c) total += ClassF1(confusion, c);
+  return total / static_cast<double>(num_classes);
+}
+
+double PaperF1(const std::vector<int>& actual,
+               const std::vector<int>& predicted, int num_classes) {
+  return num_classes == 2 ? BinaryF1(actual, predicted)
+                          : MacroF1(actual, predicted, num_classes);
+}
+
+}  // namespace bhpo

@@ -1,0 +1,38 @@
+#ifndef BHPO_METRICS_CLASSIFICATION_H_
+#define BHPO_METRICS_CLASSIFICATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace bhpo {
+
+// Fraction of positions where predicted == actual. Empty inputs -> 0.
+double Accuracy(const std::vector<int>& actual,
+                const std::vector<int>& predicted);
+
+// k x k confusion matrix; entry (a, p) counts instances of class `a`
+// predicted as class `p`.
+std::vector<std::vector<size_t>> ConfusionMatrix(
+    const std::vector<int>& actual, const std::vector<int>& predicted,
+    int num_classes);
+
+// F1 of the positive class (class id 1) for binary problems; this matches
+// scikit-learn's default binary F1, which the paper reports for the
+// imbalanced binary datasets.
+double BinaryF1(const std::vector<int>& actual,
+                const std::vector<int>& predicted);
+
+// Unweighted mean of per-class F1 scores. Classes absent from both actual
+// and predicted contribute 0 (scikit-learn convention).
+double MacroF1(const std::vector<int>& actual,
+               const std::vector<int>& predicted, int num_classes);
+
+// F1 as the paper reports it: binary F1 for 2-class problems, macro F1
+// otherwise.
+double PaperF1(const std::vector<int>& actual,
+               const std::vector<int>& predicted, int num_classes);
+
+}  // namespace bhpo
+
+#endif  // BHPO_METRICS_CLASSIFICATION_H_

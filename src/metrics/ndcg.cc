@@ -1,0 +1,56 @@
+#include "metrics/ndcg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace bhpo {
+
+namespace {
+
+double DcgAtK(const std::vector<double>& relevance_in_rank_order, size_t k) {
+  double dcg = 0.0;
+  size_t limit = std::min(k, relevance_in_rank_order.size());
+  for (size_t rank = 0; rank < limit; ++rank) {
+    dcg += relevance_in_rank_order[rank] /
+           std::log2(static_cast<double>(rank) + 2.0);
+  }
+  return dcg;
+}
+
+}  // namespace
+
+double Ndcg(const std::vector<double>& predicted_scores,
+            const std::vector<double>& true_relevance, size_t k) {
+  BHPO_CHECK_EQ(predicted_scores.size(), true_relevance.size());
+  if (predicted_scores.empty()) return 0.0;
+  if (k == 0) k = predicted_scores.size();
+
+  // Shift relevance to be non-negative (order-preserving).
+  double lo = *std::min_element(true_relevance.begin(), true_relevance.end());
+  std::vector<double> relevance = true_relevance;
+  if (lo < 0.0) {
+    for (double& r : relevance) r -= lo;
+  }
+
+  std::vector<size_t> order(predicted_scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return predicted_scores[a] > predicted_scores[b];
+  });
+
+  std::vector<double> ranked(relevance.size());
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    ranked[rank] = relevance[order[rank]];
+  }
+  std::vector<double> ideal = relevance;
+  std::sort(ideal.begin(), ideal.end(), std::greater<double>());
+
+  double idcg = DcgAtK(ideal, k);
+  if (idcg <= 0.0) return 1.0;  // All relevance equal (zero): trivially ideal.
+  return DcgAtK(ranked, k) / idcg;
+}
+
+}  // namespace bhpo

@@ -1,0 +1,27 @@
+#ifndef BHPO_METRICS_NDCG_H_
+#define BHPO_METRICS_NDCG_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace bhpo {
+
+// Normalized discounted cumulative gain of a predicted ranking.
+//
+// `predicted_scores[i]` is the score a ranking method assigned to item i and
+// `true_relevance[i]` is the item's actual quality (here: a configuration's
+// actual test accuracy). Items are ranked by predicted score (descending,
+// stable) and nDCG = DCG(ranked true relevance) / DCG(ideally ranked true
+// relevance) with the standard log2(rank + 1) discount. The paper uses this
+// to measure how well each cross-validation scheme ranks the 18
+// configurations (Fig. 5-7, Table V).
+//
+// `k` = 0 evaluates the full list. All-zero relevance yields 1.0 (a ranking
+// of indistinguishable items is trivially perfect). Negative relevance is
+// shifted to be non-negative first, preserving order.
+double Ndcg(const std::vector<double>& predicted_scores,
+            const std::vector<double>& true_relevance, size_t k = 0);
+
+}  // namespace bhpo
+
+#endif  // BHPO_METRICS_NDCG_H_

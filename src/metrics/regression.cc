@@ -1,0 +1,51 @@
+#include "metrics/regression.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace bhpo {
+
+double MeanSquaredError(const std::vector<double>& actual,
+                        const std::vector<double>& predicted) {
+  BHPO_CHECK_EQ(actual.size(), predicted.size());
+  if (actual.empty()) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    double d = actual[i] - predicted[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(actual.size());
+}
+
+double MeanAbsoluteError(const std::vector<double>& actual,
+                         const std::vector<double>& predicted) {
+  BHPO_CHECK_EQ(actual.size(), predicted.size());
+  if (actual.empty()) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    acc += std::fabs(actual[i] - predicted[i]);
+  }
+  return acc / static_cast<double>(actual.size());
+}
+
+double R2Score(const std::vector<double>& actual,
+               const std::vector<double>& predicted) {
+  BHPO_CHECK_EQ(actual.size(), predicted.size());
+  if (actual.empty()) return 0.0;
+  double mean = 0.0;
+  for (double y : actual) mean += y;
+  mean /= static_cast<double>(actual.size());
+
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    double r = actual[i] - predicted[i];
+    double t = actual[i] - mean;
+    ss_res += r * r;
+    ss_tot += t * t;
+  }
+  if (ss_tot <= 1e-12) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace bhpo

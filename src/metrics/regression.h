@@ -1,0 +1,22 @@
+#ifndef BHPO_METRICS_REGRESSION_H_
+#define BHPO_METRICS_REGRESSION_H_
+
+#include <vector>
+
+namespace bhpo {
+
+double MeanSquaredError(const std::vector<double>& actual,
+                        const std::vector<double>& predicted);
+
+double MeanAbsoluteError(const std::vector<double>& actual,
+                         const std::vector<double>& predicted);
+
+// Coefficient of determination, as the paper's "R2 (%)" rows (they multiply
+// by 100 for display; this returns the raw value which can be negative for
+// models worse than the mean predictor). A constant actual vector yields 0.
+double R2Score(const std::vector<double>& actual,
+               const std::vector<double>& predicted);
+
+}  // namespace bhpo
+
+#endif  // BHPO_METRICS_REGRESSION_H_

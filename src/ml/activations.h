@@ -1,0 +1,33 @@
+#ifndef BHPO_ML_ACTIVATIONS_H_
+#define BHPO_ML_ACTIVATIONS_H_
+
+#include <string>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace bhpo {
+
+// Hidden-layer activation functions, matching scikit-learn MLP's
+// `activation` hyperparameter values (Table III searches over
+// logistic/tanh/relu).
+enum class Activation { kIdentity, kLogistic, kTanh, kRelu };
+
+Result<Activation> ActivationFromString(const std::string& name);
+const char* ActivationToString(Activation activation);
+
+// Applies the activation elementwise in place.
+void ApplyActivation(Activation activation, Matrix* values);
+
+// Given already-activated values a = act(z), writes act'(z) into
+// `derivative` (same shape). All supported activations admit this form:
+// logistic: a(1-a); tanh: 1-a^2; relu: 1[a > 0]; identity: 1.
+void ActivationDerivativeFromOutput(Activation activation, const Matrix& activated,
+                                    Matrix* derivative);
+
+// Row-wise softmax in place (numerically stabilized by the row max).
+void SoftmaxRows(Matrix* logits);
+
+}  // namespace bhpo
+
+#endif  // BHPO_ML_ACTIVATIONS_H_

@@ -1,0 +1,47 @@
+#include "ml/adam.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace bhpo {
+
+AdamUpdater::AdamUpdater(double beta1, double beta2, double epsilon)
+    : beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {
+  BHPO_CHECK(beta1 >= 0.0 && beta1 < 1.0);
+  BHPO_CHECK(beta2 >= 0.0 && beta2 < 1.0);
+  BHPO_CHECK_GT(epsilon, 0.0);
+}
+
+void AdamUpdater::Step(std::vector<Matrix>* params,
+                       const std::vector<Matrix>& grads, double lr) {
+  BHPO_CHECK(params != nullptr);
+  BHPO_CHECK_EQ(params->size(), grads.size());
+  if (m_.empty()) {
+    for (const Matrix& p : *params) {
+      m_.emplace_back(p.rows(), p.cols());
+      v_.emplace_back(p.rows(), p.cols());
+    }
+  }
+  BHPO_CHECK_EQ(m_.size(), params->size());
+
+  ++t_;
+  double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  double step = lr * std::sqrt(bias2) / bias1;
+
+  for (size_t i = 0; i < params->size(); ++i) {
+    BHPO_CHECK(m_[i].SameShape(grads[i]));
+    std::vector<double>& m = m_[i].data();
+    std::vector<double>& v = v_[i].data();
+    const std::vector<double>& g = grads[i].data();
+    std::vector<double>& p = (*params)[i].data();
+    for (size_t j = 0; j < g.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0 - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0 - beta2_) * g[j] * g[j];
+      p[j] -= step * m[j] / (std::sqrt(v[j]) + epsilon_);
+    }
+  }
+}
+
+}  // namespace bhpo

@@ -1,0 +1,31 @@
+#ifndef BHPO_ML_ADAM_H_
+#define BHPO_ML_ADAM_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace bhpo {
+
+// Adam parameter updater (Kingma & Ba 2015) with scikit-learn's default
+// moments, matching MLP's `adam` solver. Owns first/second moment buffers;
+// parameter list shapes must stay fixed across Step calls.
+class AdamUpdater {
+ public:
+  AdamUpdater(double beta1 = 0.9, double beta2 = 0.999, double epsilon = 1e-8);
+
+  void Step(std::vector<Matrix>* params, const std::vector<Matrix>& grads,
+            double lr);
+
+ private:
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  long t_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+}  // namespace bhpo
+
+#endif  // BHPO_ML_ADAM_H_

@@ -1,0 +1,200 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/activations.h"
+#include "ml/losses.h"
+
+namespace bhpo {
+
+Status GbdtConfig::Validate() const {
+  if (num_rounds < 1) {
+    return Status::InvalidArgument("num_rounds must be >= 1");
+  }
+  if (learning_rate <= 0.0 || learning_rate > 1.0) {
+    return Status::InvalidArgument("learning_rate must be in (0, 1]");
+  }
+  if (max_depth < 1) {
+    return Status::InvalidArgument("max_depth must be >= 1");
+  }
+  if (min_samples_leaf < 1) {
+    return Status::InvalidArgument("min_samples_leaf must be >= 1");
+  }
+  if (subsample <= 0.0 || subsample > 1.0) {
+    return Status::InvalidArgument("subsample must be in (0, 1]");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Regression tree fit to pseudo-residuals over a row subset.
+Result<std::unique_ptr<DecisionTree>> FitResidualTree(
+    const Matrix& features, const std::vector<double>& residuals,
+    const std::vector<size_t>& rows, const GbdtConfig& config,
+    uint64_t seed) {
+  Matrix x = features.SelectRows(rows);
+  std::vector<double> y;
+  y.reserve(rows.size());
+  for (size_t r : rows) y.push_back(residuals[r]);
+  BHPO_ASSIGN_OR_RETURN(Dataset stage_data,
+                        Dataset::Regression(std::move(x), std::move(y)));
+  DecisionTreeConfig tree_config;
+  tree_config.max_depth = config.max_depth;
+  tree_config.min_samples_leaf = config.min_samples_leaf;
+  tree_config.seed = seed;
+  auto tree = std::make_unique<DecisionTree>(tree_config);
+  BHPO_RETURN_NOT_OK(tree->Fit(stage_data));
+  return tree;
+}
+
+}  // namespace
+
+Status GbdtModel::Fit(const Dataset& train) {
+  BHPO_RETURN_NOT_OK(config_.Validate());
+  if (train.n() == 0) {
+    return Status::InvalidArgument("cannot fit on an empty dataset");
+  }
+  task_ = train.task();
+  num_classes_ = train.is_classification() ? train.num_classes() : 0;
+  stages_.clear();
+
+  size_t n = train.n();
+  size_t outputs =
+      train.is_classification() ? static_cast<size_t>(num_classes_) : 1;
+  Rng rng(config_.seed);
+
+  // Base score: class log-priors (clipped away from empty classes) or the
+  // target mean.
+  base_score_.assign(outputs, 0.0);
+  if (train.is_classification()) {
+    std::vector<size_t> counts = train.ClassCounts();
+    for (size_t k = 0; k < outputs; ++k) {
+      double p = (static_cast<double>(counts[k]) + 1.0) /
+                 (static_cast<double>(n) + static_cast<double>(outputs));
+      base_score_[k] = std::log(p);
+    }
+  } else {
+    double mean = 0.0;
+    for (double t : train.targets()) mean += t;
+    base_score_[0] = mean / static_cast<double>(n);
+  }
+
+  // Current additive scores.
+  Matrix scores(n, outputs);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t k = 0; k < outputs; ++k) scores(i, k) = base_score_[k];
+  }
+
+  std::vector<double> residuals(n);
+  size_t rows_per_round = std::max<size_t>(
+      2, static_cast<size_t>(config_.subsample * static_cast<double>(n)));
+
+  for (int round = 0; round < config_.num_rounds; ++round) {
+    std::vector<size_t> rows =
+        rows_per_round >= n ? [n] {
+          std::vector<size_t> all(n);
+          for (size_t i = 0; i < n; ++i) all[i] = i;
+          return all;
+        }()
+                            : rng.SampleWithoutReplacement(n, rows_per_round);
+
+    std::vector<std::unique_ptr<DecisionTree>> stage;
+    if (train.is_classification()) {
+      // Softmax probabilities of the current scores.
+      Matrix proba = scores;
+      SoftmaxRows(&proba);
+      for (size_t k = 0; k < outputs; ++k) {
+        for (size_t i = 0; i < n; ++i) {
+          double y = train.label(i) == static_cast<int>(k) ? 1.0 : 0.0;
+          residuals[i] = y - proba(i, k);
+        }
+        BHPO_ASSIGN_OR_RETURN(
+            std::unique_ptr<DecisionTree> tree,
+            FitResidualTree(train.features(), residuals, rows, config_,
+                            rng.engine()()));
+        std::vector<double> update = tree->PredictValues(train.features());
+        for (size_t i = 0; i < n; ++i) {
+          scores(i, k) += config_.learning_rate * update[i];
+        }
+        stage.push_back(std::move(tree));
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        residuals[i] = train.target(i) - scores(i, 0);
+      }
+      BHPO_ASSIGN_OR_RETURN(
+          std::unique_ptr<DecisionTree> tree,
+          FitResidualTree(train.features(), residuals, rows, config_,
+                          rng.engine()()));
+      std::vector<double> update = tree->PredictValues(train.features());
+      for (size_t i = 0; i < n; ++i) {
+        scores(i, 0) += config_.learning_rate * update[i];
+      }
+      stage.push_back(std::move(tree));
+    }
+    stages_.push_back(std::move(stage));
+  }
+
+  // Final training loss for diagnostics.
+  if (train.is_classification()) {
+    Matrix proba = scores;
+    SoftmaxRows(&proba);
+    final_loss_ = CrossEntropyLoss(proba, train.labels());
+  } else {
+    final_loss_ = HalfMseLoss(scores, train.targets());
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Matrix GbdtModel::RawScores(const Matrix& features) const {
+  size_t outputs = base_score_.size();
+  Matrix scores(features.rows(), outputs);
+  for (size_t i = 0; i < features.rows(); ++i) {
+    for (size_t k = 0; k < outputs; ++k) scores(i, k) = base_score_[k];
+  }
+  for (const auto& stage : stages_) {
+    for (size_t k = 0; k < stage.size(); ++k) {
+      std::vector<double> update = stage[k]->PredictValues(features);
+      for (size_t i = 0; i < features.rows(); ++i) {
+        scores(i, k) += config_.learning_rate * update[i];
+      }
+    }
+  }
+  return scores;
+}
+
+Matrix GbdtModel::PredictProba(const Matrix& features) const {
+  BHPO_CHECK(fitted_) << "PredictProba before Fit";
+  BHPO_CHECK(task_ == Task::kClassification);
+  Matrix proba = RawScores(features);
+  SoftmaxRows(&proba);
+  return proba;
+}
+
+std::vector<int> GbdtModel::PredictLabels(const Matrix& features) const {
+  BHPO_CHECK(fitted_) << "PredictLabels before Fit";
+  BHPO_CHECK(task_ == Task::kClassification);
+  Matrix scores = RawScores(features);
+  std::vector<int> labels(scores.rows());
+  for (size_t r = 0; r < scores.rows(); ++r) {
+    const double* p = scores.Row(r);
+    labels[r] =
+        static_cast<int>(std::max_element(p, p + scores.cols()) - p);
+  }
+  return labels;
+}
+
+std::vector<double> GbdtModel::PredictValues(const Matrix& features) const {
+  BHPO_CHECK(fitted_) << "PredictValues before Fit";
+  BHPO_CHECK(task_ == Task::kRegression);
+  Matrix scores = RawScores(features);
+  std::vector<double> values(scores.rows());
+  for (size_t r = 0; r < scores.rows(); ++r) values[r] = scores(r, 0);
+  return values;
+}
+
+}  // namespace bhpo

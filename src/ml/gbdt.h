@@ -1,0 +1,68 @@
+#ifndef BHPO_ML_GBDT_H_
+#define BHPO_ML_GBDT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "ml/decision_tree.h"
+
+namespace bhpo {
+
+// Gradient-boosted decision trees (Friedman 2001), the library's third
+// model family. Regression boosts squared loss on residuals; binary and
+// multiclass classification boost the softmax cross-entropy with one
+// regression tree per class per round (pseudo-residual y_onehot - p).
+// Optional row subsampling gives stochastic gradient boosting.
+struct GbdtConfig {
+  int num_rounds = 50;
+  // Shrinkage applied to every tree's contribution.
+  double learning_rate = 0.1;
+  // Base-learner depth; boosting favors shallow trees.
+  int max_depth = 3;
+  int min_samples_leaf = 1;
+  // Fraction of rows used per round; 1.0 = all (plain gradient boosting).
+  double subsample = 1.0;
+  uint64_t seed = 0;
+
+  Status Validate() const;
+};
+
+class GbdtModel : public Model {
+ public:
+  explicit GbdtModel(GbdtConfig config = {}) : config_(std::move(config)) {}
+
+  Status Fit(const Dataset& train) override;
+  std::vector<int> PredictLabels(const Matrix& features) const override;
+  std::vector<double> PredictValues(const Matrix& features) const override;
+  // Classification: softmax probabilities of the boosted scores.
+  Matrix PredictProba(const Matrix& features) const;
+
+  bool fitted() const { return fitted_; }
+  int rounds_fit() const { return static_cast<int>(stages_.size()); }
+  // Training loss after the final round (cross-entropy or half-MSE).
+  double final_loss() const { return final_loss_; }
+
+ private:
+  friend Status SaveGbdt(const GbdtModel& model, std::ostream& out);
+  friend Result<std::unique_ptr<GbdtModel>> LoadGbdt(std::istream& in);
+
+  // Raw additive scores F(x): (n x num_classes) for classification,
+  // (n x 1) for regression.
+  Matrix RawScores(const Matrix& features) const;
+
+  GbdtConfig config_;
+  Task task_ = Task::kClassification;
+  int num_classes_ = 0;
+  // Constant initial score (class log-priors / target mean).
+  std::vector<double> base_score_;
+  // stages_[round][k] = the regression tree for output k at that round.
+  std::vector<std::vector<std::unique_ptr<DecisionTree>>> stages_;
+  bool fitted_ = false;
+  double final_loss_ = 0.0;
+};
+
+}  // namespace bhpo
+
+#endif  // BHPO_ML_GBDT_H_

@@ -1,0 +1,66 @@
+#include "ml/losses.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace bhpo {
+
+namespace {
+constexpr double kProbClip = 1e-10;
+}  // namespace
+
+double CrossEntropyLoss(const Matrix& probabilities,
+                        const std::vector<int>& labels) {
+  BHPO_CHECK_EQ(probabilities.rows(), labels.size());
+  if (labels.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    BHPO_CHECK(labels[i] >= 0 &&
+               labels[i] < static_cast<int>(probabilities.cols()));
+    double p = std::clamp(probabilities(i, labels[i]), kProbClip,
+                          1.0 - kProbClip);
+    total -= std::log(p);
+  }
+  return total / static_cast<double>(labels.size());
+}
+
+double HalfMseLoss(const Matrix& predictions,
+                   const std::vector<double>& targets) {
+  BHPO_CHECK_EQ(predictions.rows(), targets.size());
+  BHPO_CHECK_EQ(predictions.cols(), 1u);
+  if (targets.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    double d = predictions(i, 0) - targets[i];
+    total += d * d;
+  }
+  return 0.5 * total / static_cast<double>(targets.size());
+}
+
+void OutputDeltaClassification(const Matrix& probabilities,
+                               const std::vector<int>& labels, Matrix* delta) {
+  BHPO_CHECK(delta != nullptr);
+  BHPO_CHECK_EQ(probabilities.rows(), labels.size());
+  *delta = probabilities;
+  double inv_n = 1.0 / static_cast<double>(labels.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    (*delta)(i, labels[i]) -= 1.0;
+  }
+  delta->Scale(inv_n);
+}
+
+void OutputDeltaRegression(const Matrix& predictions,
+                           const std::vector<double>& targets, Matrix* delta) {
+  BHPO_CHECK(delta != nullptr);
+  BHPO_CHECK_EQ(predictions.rows(), targets.size());
+  BHPO_CHECK_EQ(predictions.cols(), 1u);
+  *delta = predictions;
+  double inv_n = 1.0 / static_cast<double>(targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    (*delta)(i, 0) = ((*delta)(i, 0) - targets[i]) * inv_n;
+  }
+}
+
+}  // namespace bhpo

@@ -1,0 +1,359 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "data/split.h"
+#include "ml/adam.h"
+#include "ml/lbfgs.h"
+#include "ml/losses.h"
+#include "ml/sgd.h"
+
+namespace bhpo {
+
+Result<Solver> SolverFromString(const std::string& name) {
+  if (name == "lbfgs") return Solver::kLbfgs;
+  if (name == "sgd") return Solver::kSgd;
+  if (name == "adam") return Solver::kAdam;
+  return Status::InvalidArgument("unknown solver '" + name + "'");
+}
+
+const char* SolverToString(Solver solver) {
+  switch (solver) {
+    case Solver::kLbfgs:
+      return "lbfgs";
+    case Solver::kSgd:
+      return "sgd";
+    case Solver::kAdam:
+      return "adam";
+  }
+  return "?";
+}
+
+Status MlpConfig::Validate() const {
+  if (hidden_layer_sizes.empty()) {
+    return Status::InvalidArgument("need at least one hidden layer");
+  }
+  for (size_t h : hidden_layer_sizes) {
+    if (h == 0) return Status::InvalidArgument("hidden layer of size 0");
+  }
+  if (learning_rate_init <= 0.0) {
+    return Status::InvalidArgument("learning_rate_init must be positive");
+  }
+  if (alpha < 0.0) return Status::InvalidArgument("alpha must be >= 0");
+  if (max_iter < 1) return Status::InvalidArgument("max_iter must be >= 1");
+  if (momentum < 0.0 || momentum >= 1.0) {
+    return Status::InvalidArgument("momentum must be in [0, 1)");
+  }
+  if (validation_fraction <= 0.0 || validation_fraction >= 1.0) {
+    return Status::InvalidArgument("validation_fraction must be in (0, 1)");
+  }
+  if (n_iter_no_change < 1) {
+    return Status::InvalidArgument("n_iter_no_change must be >= 1");
+  }
+  if (tol < 0.0) return Status::InvalidArgument("tol must be >= 0");
+  return Status::OK();
+}
+
+void MlpModel::InitializeParameters(size_t num_features, size_t num_outputs,
+                                    uint64_t seed) {
+  BHPO_CHECK_GT(num_features, 0u);
+  BHPO_CHECK_GT(num_outputs, 0u);
+  num_outputs_ = num_outputs;
+
+  std::vector<size_t> sizes;
+  sizes.push_back(num_features);
+  for (size_t h : config_.hidden_layer_sizes) sizes.push_back(h);
+  sizes.push_back(num_outputs);
+
+  // Glorot uniform; scikit-learn uses factor 2 for logistic, 6 otherwise.
+  double factor = config_.activation == Activation::kLogistic ? 2.0 : 6.0;
+  Rng rng(seed);
+  weights_.clear();
+  biases_.clear();
+  for (size_t l = 0; l + 1 < sizes.size(); ++l) {
+    double limit =
+        std::sqrt(factor / static_cast<double>(sizes[l] + sizes[l + 1]));
+    weights_.push_back(
+        Matrix::RandomUniform(sizes[l], sizes[l + 1], &rng, limit));
+    biases_.push_back(Matrix::RandomUniform(1, sizes[l + 1], &rng, limit));
+  }
+}
+
+void MlpModel::Forward(const Matrix& input,
+                       std::vector<Matrix>* layer_outputs) const {
+  BHPO_CHECK(layer_outputs != nullptr);
+  BHPO_CHECK(!weights_.empty()) << "Forward before InitializeParameters";
+  layer_outputs->clear();
+  layer_outputs->reserve(weights_.size() + 1);
+  layer_outputs->push_back(input);
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    Matrix z = layer_outputs->back().MatMul(weights_[l]);
+    z.AddRowBroadcast(biases_[l]);
+    if (l + 1 < weights_.size()) {
+      ApplyActivation(config_.activation, &z);
+    } else if (task_ == Task::kClassification) {
+      SoftmaxRows(&z);
+    }  // Regression head is identity.
+    layer_outputs->push_back(std::move(z));
+  }
+}
+
+double MlpModel::ComputeLossAndGradients(
+    const Dataset& data, std::vector<Matrix>* weight_grads,
+    std::vector<Matrix>* bias_grads) const {
+  BHPO_CHECK(weight_grads != nullptr && bias_grads != nullptr);
+  BHPO_CHECK_GT(data.n(), 0u);
+
+  std::vector<Matrix> outs;
+  Forward(data.features(), &outs);
+  const Matrix& output = outs.back();
+
+  double inv_n = 1.0 / static_cast<double>(data.n());
+  double loss;
+  Matrix delta;
+  if (task_ == Task::kClassification) {
+    loss = CrossEntropyLoss(output, data.labels());
+    OutputDeltaClassification(output, data.labels(), &delta);
+  } else {
+    loss = HalfMseLoss(output, data.targets());
+    OutputDeltaRegression(output, data.targets(), &delta);
+  }
+  // L2 penalty (weights only, like scikit-learn).
+  double l2 = 0.0;
+  for (const Matrix& w : weights_) l2 += w.SumSquares();
+  loss += 0.5 * config_.alpha * l2 * inv_n;
+
+  weight_grads->assign(weights_.size(), Matrix());
+  bias_grads->assign(biases_.size(), Matrix());
+  for (size_t l = weights_.size(); l-- > 0;) {
+    (*weight_grads)[l] = outs[l].TransposeMatMul(delta);
+    (*weight_grads)[l].AddScaled(weights_[l], config_.alpha * inv_n);
+    (*bias_grads)[l] = delta.ColSums();
+    if (l > 0) {
+      Matrix back = delta.MatMulTranspose(weights_[l]);
+      Matrix deriv;
+      ActivationDerivativeFromOutput(config_.activation, outs[l], &deriv);
+      back.MulElem(deriv);
+      delta = std::move(back);
+    }
+  }
+  return loss;
+}
+
+Status MlpModel::Fit(const Dataset& train) {
+  BHPO_RETURN_NOT_OK(config_.Validate());
+  if (train.n() == 0) {
+    return Status::InvalidArgument("cannot fit on an empty dataset");
+  }
+  task_ = train.task();
+  size_t num_outputs = train.is_classification()
+                           ? static_cast<size_t>(train.num_classes())
+                           : 1;
+  InitializeParameters(train.num_features(), num_outputs, config_.seed);
+  fitted_ = true;  // Parameters exist; prediction is valid from here on.
+  iterations_run_ = 0;
+
+  if (config_.solver == Solver::kLbfgs) {
+    return FitLbfgs(train);
+  }
+  return FitSgdFamily(train);
+}
+
+Status MlpModel::FitSgdFamily(const Dataset& train) {
+  size_t n = train.n();
+  size_t batch = config_.batch_size == 0
+                     ? std::min<size_t>(200, n)
+                     : std::min(config_.batch_size, n);
+
+  // Optional validation holdout for early stopping.
+  Dataset fit_set = train;
+  Dataset val_set;
+  bool use_validation = config_.early_stopping && n >= 10;
+  if (use_validation) {
+    Rng split_rng(config_.seed + 1);
+    BHPO_ASSIGN_OR_RETURN(
+        TrainTestSplit holdout,
+        SplitTrainTest(train, config_.validation_fraction, &split_rng,
+                       /*stratified=*/train.is_classification()));
+    fit_set = std::move(holdout.train);
+    val_set = std::move(holdout.test);
+    batch = std::min(batch, fit_set.n());
+  }
+
+  LearningRate lr(config_.learning_rate, config_.learning_rate_init,
+                  config_.power_t);
+  SgdUpdater weight_sgd(config_.momentum, config_.nesterovs_momentum);
+  SgdUpdater bias_sgd(config_.momentum, config_.nesterovs_momentum);
+  AdamUpdater weight_adam;
+  AdamUpdater bias_adam;
+
+  Rng shuffle_rng(config_.seed + 2);
+  std::vector<size_t> order(fit_set.n());
+  std::iota(order.begin(), order.end(), 0);
+
+  double best_val_score = -1e300;
+  double best_train_loss = 1e300;
+  int stall = 0;
+  std::vector<Matrix> best_weights, best_biases;
+  std::vector<Matrix> weight_grads, bias_grads;
+
+  for (int epoch = 0; epoch < config_.max_iter; ++epoch) {
+    shuffle_rng.Shuffle(&order);
+    double loss_sum = 0.0;
+    for (size_t start = 0; start < order.size(); start += batch) {
+      size_t end = std::min(start + batch, order.size());
+      std::vector<size_t> batch_idx(order.begin() + start,
+                                    order.begin() + end);
+      Dataset batch_set = fit_set.Subset(batch_idx);
+      double batch_loss =
+          ComputeLossAndGradients(batch_set, &weight_grads, &bias_grads);
+      loss_sum += batch_loss * static_cast<double>(batch_idx.size());
+
+      double step = lr.NextUpdateRate();
+      if (config_.solver == Solver::kSgd) {
+        weight_sgd.Step(&weights_, weight_grads, step);
+        bias_sgd.Step(&biases_, bias_grads, step);
+      } else {
+        weight_adam.Step(&weights_, weight_grads, step);
+        bias_adam.Step(&biases_, bias_grads, step);
+      }
+    }
+    double epoch_loss = loss_sum / static_cast<double>(fit_set.n());
+    final_loss_ = epoch_loss;
+    iterations_run_ = epoch + 1;
+
+    if (!std::isfinite(epoch_loss)) {
+      return Status::Internal("training diverged (non-finite loss)");
+    }
+    if (!lr.ReportEpochLoss(epoch_loss, config_.tol)) break;
+
+    if (use_validation) {
+      double score = EvaluateModel(*this, val_set);
+      if (score > best_val_score + config_.tol) {
+        best_val_score = score;
+        best_weights = weights_;
+        best_biases = biases_;
+        stall = 0;
+      } else {
+        if (++stall >= config_.n_iter_no_change) break;
+      }
+    } else {
+      if (epoch_loss < best_train_loss - config_.tol) {
+        best_train_loss = epoch_loss;
+        stall = 0;
+      } else {
+        if (++stall >= config_.n_iter_no_change) break;
+      }
+    }
+  }
+
+  if (use_validation && !best_weights.empty()) {
+    weights_ = std::move(best_weights);
+    biases_ = std::move(best_biases);
+  }
+  return Status::OK();
+}
+
+size_t MlpModel::ParameterCount() const {
+  size_t count = 0;
+  for (const Matrix& w : weights_) count += w.size();
+  for (const Matrix& b : biases_) count += b.size();
+  return count;
+}
+
+void MlpModel::PackParameters(std::vector<double>* flat) const {
+  flat->clear();
+  flat->reserve(ParameterCount());
+  for (const Matrix& w : weights_) {
+    flat->insert(flat->end(), w.data().begin(), w.data().end());
+  }
+  for (const Matrix& b : biases_) {
+    flat->insert(flat->end(), b.data().begin(), b.data().end());
+  }
+}
+
+void MlpModel::UnpackParameters(const std::vector<double>& flat) {
+  BHPO_CHECK_EQ(flat.size(), ParameterCount());
+  size_t pos = 0;
+  for (Matrix& w : weights_) {
+    std::copy(flat.begin() + pos, flat.begin() + pos + w.size(),
+              w.data().begin());
+    pos += w.size();
+  }
+  for (Matrix& b : biases_) {
+    std::copy(flat.begin() + pos, flat.begin() + pos + b.size(),
+              b.data().begin());
+    pos += b.size();
+  }
+}
+
+Status MlpModel::FitLbfgs(const Dataset& train) {
+  std::vector<double> x;
+  PackParameters(&x);
+
+  std::vector<Matrix> weight_grads, bias_grads;
+  ObjectiveFn objective = [&](const std::vector<double>& params,
+                              std::vector<double>* grad) {
+    UnpackParameters(params);
+    double loss = ComputeLossAndGradients(train, &weight_grads, &bias_grads);
+    grad->clear();
+    grad->reserve(params.size());
+    for (const Matrix& g : weight_grads) {
+      grad->insert(grad->end(), g.data().begin(), g.data().end());
+    }
+    for (const Matrix& g : bias_grads) {
+      grad->insert(grad->end(), g.data().begin(), g.data().end());
+    }
+    return loss;
+  };
+
+  LbfgsOptions options;
+  options.max_iterations = config_.max_iter;
+  options.function_tolerance = config_.tol * 1e-3;
+  BHPO_ASSIGN_OR_RETURN(LbfgsSummary summary,
+                        MinimizeLbfgs(objective, &x, options));
+  UnpackParameters(x);
+  final_loss_ = summary.final_objective;
+  iterations_run_ = summary.iterations;
+  if (!std::isfinite(final_loss_)) {
+    return Status::Internal("lbfgs diverged (non-finite loss)");
+  }
+  return Status::OK();
+}
+
+std::vector<int> MlpModel::PredictLabels(const Matrix& features) const {
+  BHPO_CHECK(fitted_) << "PredictLabels before Fit";
+  BHPO_CHECK(task_ == Task::kClassification);
+  Matrix proba = PredictProba(features);
+  std::vector<int> labels(proba.rows());
+  for (size_t r = 0; r < proba.rows(); ++r) {
+    const double* p = proba.Row(r);
+    labels[r] = static_cast<int>(
+        std::max_element(p, p + proba.cols()) - p);
+  }
+  return labels;
+}
+
+Matrix MlpModel::PredictProba(const Matrix& features) const {
+  BHPO_CHECK(fitted_) << "PredictProba before Fit";
+  BHPO_CHECK(task_ == Task::kClassification);
+  std::vector<Matrix> outs;
+  Forward(features, &outs);
+  return std::move(outs.back());
+}
+
+std::vector<double> MlpModel::PredictValues(const Matrix& features) const {
+  BHPO_CHECK(fitted_) << "PredictValues before Fit";
+  BHPO_CHECK(task_ == Task::kRegression);
+  std::vector<Matrix> outs;
+  Forward(features, &outs);
+  const Matrix& out = outs.back();
+  std::vector<double> values(out.rows());
+  for (size_t r = 0; r < out.rows(); ++r) values[r] = out(r, 0);
+  return values;
+}
+
+}  // namespace bhpo

@@ -1,0 +1,49 @@
+#include "ml/model.h"
+
+#include "metrics/classification.h"
+#include "metrics/regression.h"
+
+namespace bhpo {
+
+const char* EvalMetricToString(EvalMetric metric) {
+  switch (metric) {
+    case EvalMetric::kAuto:
+      return "auto";
+    case EvalMetric::kAccuracy:
+      return "accuracy";
+    case EvalMetric::kF1:
+      return "f1";
+    case EvalMetric::kR2:
+      return "r2";
+  }
+  return "?";
+}
+
+double EvaluateModel(const Model& model, const Dataset& test,
+                     EvalMetric metric) {
+  if (metric == EvalMetric::kAuto) {
+    metric = test.is_classification() ? EvalMetric::kAccuracy
+                                      : EvalMetric::kR2;
+  }
+  switch (metric) {
+    case EvalMetric::kAccuracy: {
+      BHPO_CHECK(test.is_classification());
+      return Accuracy(test.labels(), model.PredictLabels(test.features()));
+    }
+    case EvalMetric::kF1: {
+      BHPO_CHECK(test.is_classification());
+      return PaperF1(test.labels(), model.PredictLabels(test.features()),
+                     test.num_classes());
+    }
+    case EvalMetric::kR2: {
+      BHPO_CHECK(!test.is_classification());
+      return R2Score(test.targets(), model.PredictValues(test.features()));
+    }
+    case EvalMetric::kAuto:
+      break;
+  }
+  BHPO_CHECK(false) << "unreachable";
+  return 0.0;
+}
+
+}  // namespace bhpo

@@ -1,0 +1,42 @@
+#ifndef BHPO_ML_MODEL_H_
+#define BHPO_ML_MODEL_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace bhpo {
+
+// Minimal supervised-model interface the HPO layer trains and scores
+// through. Implementations must be fit before prediction; calling the
+// prediction method of the wrong task is a programming error (CHECK).
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  virtual Status Fit(const Dataset& train) = 0;
+
+  // Classification: hard labels for each feature row.
+  virtual std::vector<int> PredictLabels(const Matrix& features) const = 0;
+  // Regression: real-valued predictions for each feature row.
+  virtual std::vector<double> PredictValues(const Matrix& features) const = 0;
+};
+
+// Which score a dataset is judged by. The paper reports accuracy for the
+// balanced classification datasets, (binary) F1 for the imbalanced ones and
+// R^2 for regression; kAuto maps classification -> accuracy,
+// regression -> R^2.
+enum class EvalMetric { kAuto, kAccuracy, kF1, kR2 };
+
+const char* EvalMetricToString(EvalMetric metric);
+
+// Scores a fitted model on `test` with the chosen metric. Higher is always
+// better (R^2 can be negative).
+double EvaluateModel(const Model& model, const Dataset& test,
+                     EvalMetric metric = EvalMetric::kAuto);
+
+}  // namespace bhpo
+
+#endif  // BHPO_ML_MODEL_H_

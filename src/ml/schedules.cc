@@ -1,0 +1,59 @@
+#include "ml/schedules.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace bhpo {
+
+Result<LearningRateSchedule> ScheduleFromString(const std::string& name) {
+  if (name == "constant") return LearningRateSchedule::kConstant;
+  if (name == "invscaling") return LearningRateSchedule::kInvScaling;
+  if (name == "adaptive") return LearningRateSchedule::kAdaptive;
+  return Status::InvalidArgument("unknown learning rate schedule '" + name +
+                                 "'");
+}
+
+const char* ScheduleToString(LearningRateSchedule schedule) {
+  switch (schedule) {
+    case LearningRateSchedule::kConstant:
+      return "constant";
+    case LearningRateSchedule::kInvScaling:
+      return "invscaling";
+    case LearningRateSchedule::kAdaptive:
+      return "adaptive";
+  }
+  return "?";
+}
+
+LearningRate::LearningRate(LearningRateSchedule schedule, double eta0,
+                           double power_t)
+    : schedule_(schedule), eta0_(eta0), power_t_(power_t), current_(eta0) {
+  BHPO_CHECK_GT(eta0, 0.0);
+}
+
+double LearningRate::NextUpdateRate() {
+  ++update_count_;
+  if (schedule_ == LearningRateSchedule::kInvScaling) {
+    current_ = eta0_ / std::pow(static_cast<double>(update_count_), power_t_);
+  }
+  return current_;
+}
+
+bool LearningRate::ReportEpochLoss(double loss, double tol) {
+  if (schedule_ != LearningRateSchedule::kAdaptive) return true;
+  if (loss < best_loss_ - tol) {
+    best_loss_ = loss;
+    stall_epochs_ = 0;
+    return true;
+  }
+  ++stall_epochs_;
+  if (stall_epochs_ >= 2) {
+    current_ /= 5.0;
+    stall_epochs_ = 0;
+    if (current_ < 1e-6) return false;
+  }
+  return true;
+}
+
+}  // namespace bhpo

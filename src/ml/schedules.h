@@ -1,0 +1,51 @@
+#ifndef BHPO_ML_SCHEDULES_H_
+#define BHPO_ML_SCHEDULES_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace bhpo {
+
+// Learning-rate schedules for the SGD solver, matching scikit-learn MLP's
+// `learning_rate` hyperparameter values (Table III searches over
+// constant/invscaling/adaptive).
+enum class LearningRateSchedule { kConstant, kInvScaling, kAdaptive };
+
+Result<LearningRateSchedule> ScheduleFromString(const std::string& name);
+const char* ScheduleToString(LearningRateSchedule schedule);
+
+// Stateful learning-rate tracker.
+//  - constant:   eta = eta0
+//  - invscaling: eta = eta0 / t^power_t (t = update count, power_t = 0.5)
+//  - adaptive:   eta = eta0 until the epoch loss stalls twice in a row,
+//                then eta /= 5 (scikit-learn semantics).
+class LearningRate {
+ public:
+  LearningRate(LearningRateSchedule schedule, double eta0,
+               double power_t = 0.5);
+
+  // Current step size, then advances the per-update counter (invscaling).
+  double NextUpdateRate();
+
+  // Reports one epoch's training loss; drives the adaptive schedule.
+  // Returns false when adaptive training should stop (eta underflowed
+  // below 1e-6 after a division).
+  bool ReportEpochLoss(double loss, double tol);
+
+  double current() const { return current_; }
+  LearningRateSchedule schedule() const { return schedule_; }
+
+ private:
+  LearningRateSchedule schedule_;
+  double eta0_;
+  double power_t_;
+  double current_;
+  long update_count_ = 0;
+  double best_loss_ = 1e300;
+  int stall_epochs_ = 0;
+};
+
+}  // namespace bhpo
+
+#endif  // BHPO_ML_SCHEDULES_H_

@@ -1,0 +1,48 @@
+#ifndef BHPO_ML_SERIALIZATION_H_
+#define BHPO_ML_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "ml/model.h"
+
+namespace bhpo {
+
+class MlpModel;
+class DecisionTree;
+class RandomForest;
+class GbdtModel;
+
+// Text-based model persistence: a versioned, line-oriented format with
+// full-precision doubles, so a tuned model can be trained once (e.g. by
+// the CLI) and reused. Writers emit a type tag; LoadModelFromFile
+// dispatches on it.
+//
+//   bhpo-model 1 <type>
+//   <type-specific sections>
+//
+// Only fitted models can be saved.
+
+Status SaveMlp(const MlpModel& model, std::ostream& out);
+Result<std::unique_ptr<MlpModel>> LoadMlp(std::istream& in);
+
+Status SaveDecisionTree(const DecisionTree& tree, std::ostream& out);
+Result<std::unique_ptr<DecisionTree>> LoadDecisionTree(std::istream& in);
+
+Status SaveRandomForest(const RandomForest& forest, std::ostream& out);
+Result<std::unique_ptr<RandomForest>> LoadRandomForest(std::istream& in);
+
+Status SaveGbdt(const GbdtModel& model, std::ostream& out);
+Result<std::unique_ptr<GbdtModel>> LoadGbdt(std::istream& in);
+
+// File-level helpers. Save dispatches on the dynamic type (MLP, tree or
+// forest); Load reads the tag and returns the right concrete model behind
+// the Model interface.
+Status SaveModelToFile(const Model& model, const std::string& path);
+Result<std::unique_ptr<Model>> LoadModelFromFile(const std::string& path);
+
+}  // namespace bhpo
+
+#endif  // BHPO_ML_SERIALIZATION_H_

@@ -1,0 +1,40 @@
+#include "ml/sgd.h"
+
+#include "common/check.h"
+
+namespace bhpo {
+
+SgdUpdater::SgdUpdater(double momentum, bool nesterov)
+    : momentum_(momentum), nesterov_(nesterov) {
+  BHPO_CHECK(momentum >= 0.0 && momentum < 1.0);
+}
+
+void SgdUpdater::Step(std::vector<Matrix>* params,
+                      const std::vector<Matrix>& grads, double lr) {
+  BHPO_CHECK(params != nullptr);
+  BHPO_CHECK_EQ(params->size(), grads.size());
+  if (velocity_.empty()) {
+    velocity_.reserve(params->size());
+    for (const Matrix& p : *params) {
+      velocity_.emplace_back(p.rows(), p.cols());
+    }
+  }
+  BHPO_CHECK_EQ(velocity_.size(), params->size());
+
+  for (size_t i = 0; i < params->size(); ++i) {
+    Matrix& v = velocity_[i];
+    BHPO_CHECK(v.SameShape(grads[i]));
+    // v = momentum * v - lr * grad
+    v.Scale(momentum_);
+    v.AddScaled(grads[i], -lr);
+    if (nesterov_) {
+      // p += momentum * v - lr * grad (look-ahead step).
+      (*params)[i].AddScaled(v, momentum_);
+      (*params)[i].AddScaled(grads[i], -lr);
+    } else {
+      (*params)[i].Add(v);
+    }
+  }
+}
+
+}  // namespace bhpo

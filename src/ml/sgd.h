@@ -1,0 +1,32 @@
+#ifndef BHPO_ML_SGD_H_
+#define BHPO_ML_SGD_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace bhpo {
+
+// Minibatch SGD parameter updater with (Nesterov) momentum, matching
+// scikit-learn MLP's `sgd` solver (Table III sweeps momentum over
+// 0.7/0.8/0.9). The updater owns one velocity buffer per parameter tensor;
+// parameter list shapes must stay fixed across Step calls.
+class SgdUpdater {
+ public:
+  explicit SgdUpdater(double momentum = 0.9, bool nesterov = true);
+
+  // params[i] -= update derived from grads[i] at learning rate lr.
+  void Step(std::vector<Matrix>* params, const std::vector<Matrix>& grads,
+            double lr);
+
+  double momentum() const { return momentum_; }
+
+ private:
+  double momentum_;
+  bool nesterov_;
+  std::vector<Matrix> velocity_;
+};
+
+}  // namespace bhpo
+
+#endif  // BHPO_ML_SGD_H_

@@ -1,0 +1,100 @@
+#include "cluster/affinity_propagation.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "cv/grouping.h"
+#include "data/synthetic.h"
+
+namespace bhpo {
+namespace {
+
+Matrix ThreeBlobs(uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> rows;
+  const double centers[3][2] = {{0, 0}, {12, 0}, {0, 12}};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 20; ++i) {
+      rows.push_back({centers[c][0] + rng.Gaussian(0, 0.5),
+                      centers[c][1] + rng.Gaussian(0, 0.5)});
+    }
+  }
+  return Matrix::FromRows(rows);
+}
+
+TEST(AffinityPropagationTest, RecoversThreeBlobs) {
+  AffinityPropagationResult r = AffinityPropagation(ThreeBlobs()).value();
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.exemplars.size(), 3u);
+  // Points of each blob share a cluster.
+  for (int blob = 0; blob < 3; ++blob) {
+    std::set<int> ids(r.assignments.begin() + blob * 20,
+                      r.assignments.begin() + (blob + 1) * 20);
+    EXPECT_EQ(ids.size(), 1u) << "blob " << blob;
+  }
+}
+
+TEST(AffinityPropagationTest, ExemplarsAssignToThemselves) {
+  AffinityPropagationResult r = AffinityPropagation(ThreeBlobs(2)).value();
+  for (size_t e = 0; e < r.exemplars.size(); ++e) {
+    EXPECT_EQ(r.assignments[r.exemplars[e]], static_cast<int>(e));
+  }
+}
+
+TEST(AffinityPropagationTest, LowPreferenceGivesFewerClusters) {
+  Matrix points = ThreeBlobs(3);
+  AffinityPropagationOptions strong;
+  strong.auto_preference = false;
+  strong.preference = -5000.0;  // Heavily discourage exemplars.
+  AffinityPropagationResult few = AffinityPropagation(points, strong).value();
+  AffinityPropagationResult med = AffinityPropagation(points).value();
+  EXPECT_LE(few.exemplars.size(), med.exemplars.size());
+  EXPECT_GE(few.exemplars.size(), 1u);
+}
+
+TEST(AffinityPropagationTest, SinglePointIsItsOwnExemplar) {
+  Matrix one(1, 2, 0.0);
+  AffinityPropagationResult r = AffinityPropagation(one).value();
+  ASSERT_EQ(r.exemplars.size(), 1u);
+  EXPECT_EQ(r.assignments[0], 0);
+}
+
+TEST(AffinityPropagationTest, RejectsInvalidOptions) {
+  Matrix points(5, 2);
+  AffinityPropagationOptions opts;
+  opts.damping = 0.4;
+  EXPECT_FALSE(AffinityPropagation(points, opts).ok());
+  opts = AffinityPropagationOptions();
+  opts.max_iterations = 0;
+  EXPECT_FALSE(AffinityPropagation(points, opts).ok());
+  EXPECT_FALSE(AffinityPropagation(Matrix()).ok());
+}
+
+TEST(AffinityPropagationTest, WorksAsGroupingClusterer) {
+  BlobsSpec spec;
+  spec.n = 120;
+  spec.num_features = 4;
+  spec.num_classes = 2;
+  spec.clusters_per_class = 2;
+  spec.cluster_spread = 0.5;
+  spec.center_spread = 6.0;
+  spec.seed = 4;
+  Dataset data = MakeBlobs(spec).value();
+  GroupingOptions opts;
+  opts.num_groups = 2;
+  opts.clusterer = GroupingOptions::Clusterer::kAffinityPropagation;
+  opts.seed = 5;
+  Grouping g = BuildGrouping(data, opts).value();
+  EXPECT_EQ(g.group_of.size(), data.n());
+  size_t total = 0;
+  for (const auto& m : g.members) {
+    EXPECT_FALSE(m.empty());
+    total += m.size();
+  }
+  EXPECT_EQ(total, data.n());
+}
+
+}  // namespace
+}  // namespace bhpo

@@ -1,0 +1,109 @@
+#include "cluster/balanced_kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace bhpo {
+namespace {
+
+TEST(BalancedKMeansTest, AllInstancesAssigned) {
+  BlobsSpec spec;
+  spec.n = 200;
+  spec.num_features = 3;
+  spec.seed = 1;
+  Matrix points = MakeBlobs(spec).value().features();
+  BalancedKMeansOptions opts;
+  opts.k = 3;
+  opts.seed = 2;
+  BalancedKMeansResult r = BalancedKMeans(points, opts).value();
+  ASSERT_EQ(r.assignments.size(), points.rows());
+  for (int a : r.assignments) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 3);
+  }
+}
+
+TEST(BalancedKMeansTest, BalancedDataMeetsQuotaImmediately) {
+  // Three equal well-separated blobs: the quota (0.8 * n/3) is met on the
+  // first round.
+  BlobsSpec spec;
+  spec.n = 300;
+  spec.num_features = 2;
+  spec.num_classes = 3;
+  spec.clusters_per_class = 1;
+  spec.cluster_spread = 0.2;
+  spec.center_spread = 20.0;
+  spec.seed = 3;
+  Matrix points = MakeBlobs(spec).value().features();
+  BalancedKMeansOptions opts;
+  opts.k = 3;
+  opts.min_size_ratio = 0.8;
+  opts.seed = 4;
+  BalancedKMeansResult r = BalancedKMeans(points, opts).value();
+  EXPECT_TRUE(r.balanced);
+  EXPECT_EQ(r.rounds, 1);
+  std::vector<size_t> counts(3, 0);
+  for (int a : r.assignments) ++counts[a];
+  for (size_t c : counts) {
+    EXPECT_GE(static_cast<double>(c), 0.8 * 300.0 / 3.0);
+  }
+}
+
+TEST(BalancedKMeansTest, OutlierClusterGetsReabsorbed) {
+  // 95 points in two big blobs + 5 far outliers: with k=2 and a high
+  // quota, the outliers cannot form their own surviving cluster.
+  std::vector<std::vector<double>> rows;
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    rows.push_back({rng.Gaussian(0.0, 0.5), rng.Gaussian(0.0, 0.5)});
+  }
+  for (int i = 0; i < 45; ++i) {
+    rows.push_back({rng.Gaussian(10.0, 0.5), rng.Gaussian(0.0, 0.5)});
+  }
+  for (int i = 0; i < 5; ++i) {
+    rows.push_back({rng.Gaussian(100.0, 0.5), rng.Gaussian(100.0, 0.5)});
+  }
+  Matrix points = Matrix::FromRows(rows);
+  BalancedKMeansOptions opts;
+  opts.k = 2;
+  opts.min_size_ratio = 0.5;  // Quota = 25; the 5 outliers are undersized.
+  opts.seed = 6;
+  opts.max_rounds = 10;
+  BalancedKMeansResult r = BalancedKMeans(points, opts).value();
+  std::vector<size_t> counts(2, 0);
+  for (int a : r.assignments) ++counts[a];
+  // Both final clusters hold a real blob.
+  EXPECT_GE(counts[0], 25u);
+  EXPECT_GE(counts[1], 25u);
+}
+
+TEST(BalancedKMeansTest, RejectsInvalidOptions) {
+  Matrix points(10, 2);
+  BalancedKMeansOptions opts;
+  opts.k = 0;
+  EXPECT_FALSE(BalancedKMeans(points, opts).ok());
+  opts.k = 3;
+  opts.min_size_ratio = 1.5;
+  EXPECT_FALSE(BalancedKMeans(points, opts).ok());
+  opts.min_size_ratio = 0.8;
+  Matrix tiny(2, 2);
+  opts.k = 3;
+  EXPECT_FALSE(BalancedKMeans(tiny, opts).ok());
+}
+
+TEST(BalancedKMeansTest, DeterministicForFixedSeed) {
+  BlobsSpec spec;
+  spec.n = 120;
+  spec.seed = 7;
+  Matrix points = MakeBlobs(spec).value().features();
+  BalancedKMeansOptions opts;
+  opts.k = 2;
+  opts.seed = 8;
+  BalancedKMeansResult a = BalancedKMeans(points, opts).value();
+  BalancedKMeansResult b = BalancedKMeans(points, opts).value();
+  EXPECT_EQ(a.assignments, b.assignments);
+}
+
+}  // namespace
+}  // namespace bhpo

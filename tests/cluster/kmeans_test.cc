@@ -1,0 +1,118 @@
+#include "cluster/kmeans.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace bhpo {
+namespace {
+
+Matrix WellSeparatedPoints(int per_cluster = 30, uint64_t seed = 1) {
+  BlobsSpec spec;
+  spec.n = static_cast<size_t>(per_cluster) * 3;
+  spec.num_features = 2;
+  spec.num_classes = 3;
+  spec.clusters_per_class = 1;
+  spec.cluster_spread = 0.2;
+  spec.center_spread = 15.0;
+  spec.seed = seed;
+  return MakeBlobs(spec).value().features();
+}
+
+TEST(SquaredDistanceTest, KnownValue) {
+  double a[] = {0.0, 0.0};
+  double b[] = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b, 2), 25.0);
+}
+
+TEST(NearestCenterTest, PicksClosest) {
+  Matrix centers = Matrix::FromRows({{0, 0}, {10, 10}});
+  double p[] = {9.0, 9.5};
+  EXPECT_EQ(NearestCenter(centers, p), 1);
+}
+
+TEST(KMeansTest, RecoversWellSeparatedClusters) {
+  Matrix points = WellSeparatedPoints();
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.max_iterations = 20;
+  opts.seed = 2;
+  KMeansResult r = KMeans(points, opts).value();
+  // Every cluster non-empty and assignments consistent with nearest center.
+  std::set<int> used(r.assignments.begin(), r.assignments.end());
+  EXPECT_EQ(used.size(), 3u);
+  for (size_t i = 0; i < points.rows(); ++i) {
+    EXPECT_EQ(r.assignments[i], NearestCenter(r.centers, points.Row(i)));
+  }
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  Matrix points = WellSeparatedPoints();
+  KMeansOptions opts;
+  opts.seed = 3;
+  opts.max_iterations = 20;
+  opts.k = 1;
+  double inertia1 = KMeans(points, opts).value().inertia;
+  opts.k = 3;
+  double inertia3 = KMeans(points, opts).value().inertia;
+  EXPECT_LT(inertia3, inertia1 * 0.2);
+}
+
+TEST(KMeansTest, MoreRestartsNeverHurt) {
+  Matrix points = WellSeparatedPoints(20, 4);
+  KMeansOptions one;
+  one.k = 3;
+  one.seed = 5;
+  one.n_init = 1;
+  KMeansOptions many = one;
+  many.n_init = 5;
+  EXPECT_LE(KMeans(points, many).value().inertia,
+            KMeans(points, one).value().inertia + 1e-9);
+}
+
+TEST(KMeansTest, KEqualsNPutsEachPointAlone) {
+  Matrix points = Matrix::FromRows({{0, 0}, {5, 5}, {10, 0}});
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.seed = 6;
+  KMeansResult r = KMeans(points, opts).value();
+  EXPECT_NEAR(r.inertia, 0.0, 1e-9);
+}
+
+TEST(KMeansTest, DeterministicForFixedSeed) {
+  Matrix points = WellSeparatedPoints(15, 7);
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.seed = 8;
+  KMeansResult a = KMeans(points, opts).value();
+  KMeansResult b = KMeans(points, opts).value();
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeansTest, RejectsInvalidArguments) {
+  Matrix points(5, 2);
+  KMeansOptions opts;
+  opts.k = 0;
+  EXPECT_FALSE(KMeans(points, opts).ok());
+  opts.k = 10;  // k > n
+  EXPECT_FALSE(KMeans(points, opts).ok());
+  opts.k = 2;
+  opts.max_iterations = 0;
+  EXPECT_FALSE(KMeans(points, opts).ok());
+  EXPECT_FALSE(KMeans(Matrix(), KMeansOptions()).ok());
+}
+
+TEST(KMeansTest, IdenticalPointsDoNotCrash) {
+  Matrix points(10, 2, 1.0);  // All points identical.
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.seed = 9;
+  KMeansResult r = KMeans(points, opts).value();
+  EXPECT_NEAR(r.inertia, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace bhpo

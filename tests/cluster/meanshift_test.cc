@@ -1,0 +1,73 @@
+#include "cluster/meanshift.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace bhpo {
+namespace {
+
+Matrix TwoTightBlobs() {
+  Rng rng(1);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 40; ++i) {
+    rows.push_back({rng.Gaussian(0.0, 0.3), rng.Gaussian(0.0, 0.3)});
+  }
+  for (int i = 0; i < 40; ++i) {
+    rows.push_back({rng.Gaussian(10.0, 0.3), rng.Gaussian(10.0, 0.3)});
+  }
+  return Matrix::FromRows(rows);
+}
+
+TEST(MeanShiftTest, FindsTwoModes) {
+  MeanShiftOptions opts;
+  opts.bandwidth = 2.0;
+  MeanShiftResult r = MeanShift(TwoTightBlobs(), opts).value();
+  EXPECT_EQ(r.modes.rows(), 2u);
+  // First 40 points share a cluster, last 40 share the other.
+  std::set<int> first(r.assignments.begin(), r.assignments.begin() + 40);
+  std::set<int> second(r.assignments.begin() + 40, r.assignments.end());
+  EXPECT_EQ(first.size(), 1u);
+  EXPECT_EQ(second.size(), 1u);
+  EXPECT_NE(*first.begin(), *second.begin());
+}
+
+TEST(MeanShiftTest, ModesNearBlobCenters) {
+  MeanShiftOptions opts;
+  opts.bandwidth = 2.0;
+  MeanShiftResult r = MeanShift(TwoTightBlobs(), opts).value();
+  ASSERT_EQ(r.modes.rows(), 2u);
+  // One mode near (0,0) and one near (10,10), in either order.
+  double d00 = std::min(r.modes(0, 0) * r.modes(0, 0) +
+                            r.modes(0, 1) * r.modes(0, 1),
+                        r.modes(1, 0) * r.modes(1, 0) +
+                            r.modes(1, 1) * r.modes(1, 1));
+  EXPECT_LT(d00, 1.0);
+}
+
+TEST(MeanShiftTest, AutoBandwidthProducesFiniteClustering) {
+  MeanShiftOptions opts;  // bandwidth = 0 -> estimated
+  MeanShiftResult r = MeanShift(TwoTightBlobs(), opts).value();
+  EXPECT_GT(r.bandwidth_used, 0.0);
+  EXPECT_GE(r.modes.rows(), 1u);
+  EXPECT_EQ(r.assignments.size(), 80u);
+}
+
+TEST(MeanShiftTest, HugeBandwidthCollapsesToOneCluster) {
+  MeanShiftOptions opts;
+  opts.bandwidth = 1000.0;
+  MeanShiftResult r = MeanShift(TwoTightBlobs(), opts).value();
+  EXPECT_EQ(r.modes.rows(), 1u);
+}
+
+TEST(MeanShiftTest, RejectsEmptyAndInvalid) {
+  EXPECT_FALSE(MeanShift(Matrix(), {}).ok());
+  MeanShiftOptions opts;
+  opts.max_iterations = 0;
+  EXPECT_FALSE(MeanShift(Matrix(3, 2), opts).ok());
+}
+
+}  // namespace
+}  // namespace bhpo

@@ -1,0 +1,83 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace bhpo {
+namespace {
+
+FlagParser Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return FlagParser(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagParserTest, EqualsSyntax) {
+  FlagParser flags = Parse({"--name=value", "--count=3"});
+  EXPECT_EQ(flags.GetString("name", ""), "value");
+  EXPECT_EQ(flags.GetInt("count", 0).value(), 3);
+}
+
+TEST(FlagParserTest, SpaceSyntax) {
+  FlagParser flags = Parse({"--name", "value", "--rate", "0.5"});
+  EXPECT_EQ(flags.GetString("name", ""), "value");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate", 0.0).value(), 0.5);
+}
+
+TEST(FlagParserTest, BareFlagIsTrue) {
+  FlagParser flags = Parse({"--verbose", "--quiet=false"});
+  EXPECT_TRUE(flags.GetBool("verbose", false).value());
+  EXPECT_FALSE(flags.GetBool("quiet", true).value());
+}
+
+TEST(FlagParserTest, BoolVariants) {
+  FlagParser flags = Parse({"--a=1", "--b=yes", "--c=0", "--d=no"});
+  EXPECT_TRUE(flags.GetBool("a", false).value());
+  EXPECT_TRUE(flags.GetBool("b", false).value());
+  EXPECT_FALSE(flags.GetBool("c", true).value());
+  EXPECT_FALSE(flags.GetBool("d", true).value());
+  FlagParser bad = Parse({"--e=maybe"});
+  EXPECT_FALSE(bad.GetBool("e", false).ok());
+}
+
+TEST(FlagParserTest, DefaultsWhenAbsent) {
+  FlagParser flags = Parse({});
+  EXPECT_EQ(flags.GetString("missing", "fallback"), "fallback");
+  EXPECT_EQ(flags.GetInt("missing2", 7).value(), 7);
+  EXPECT_FALSE(flags.Has("missing3"));
+}
+
+TEST(FlagParserTest, ParseErrorsSurface) {
+  FlagParser flags = Parse({"--count=abc", "--rate=xyz"});
+  EXPECT_FALSE(flags.GetInt("count", 0).ok());
+  EXPECT_FALSE(flags.GetDouble("rate", 0.0).ok());
+}
+
+TEST(FlagParserTest, PositionalArguments) {
+  FlagParser flags = Parse({"input.csv", "--name=x", "output.csv"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.csv");
+  EXPECT_EQ(flags.positional()[1], "output.csv");
+}
+
+TEST(FlagParserTest, UnrecognizedFlagsDetected) {
+  FlagParser flags = Parse({"--known=1", "--typo=2"});
+  (void)flags.GetInt("known", 0);
+  Status status = flags.CheckUnrecognized();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("--typo"), std::string::npos);
+}
+
+TEST(FlagParserTest, AllQueriedMeansClean) {
+  FlagParser flags = Parse({"--a=1", "--b=2"});
+  (void)flags.GetInt("a", 0);
+  (void)flags.GetInt("b", 0);
+  EXPECT_TRUE(flags.CheckUnrecognized().ok());
+}
+
+TEST(FlagParserTest, SpaceSyntaxDoesNotSwallowNextFlag) {
+  FlagParser flags = Parse({"--verbose", "--name=x"});
+  EXPECT_TRUE(flags.GetBool("verbose", false).value());
+  EXPECT_EQ(flags.GetString("name", ""), "x");
+}
+
+}  // namespace
+}  // namespace bhpo

@@ -1,0 +1,166 @@
+#include "common/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace bhpo {
+namespace {
+
+TEST(MatrixTest, ConstructionAndFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+}
+
+TEST(MatrixTest, EmptyMatrix) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_DOUBLE_EQ(m.MaxAbs(), 0.0);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix i = Matrix::Identity(3);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, FromRows) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(MatrixDeathTest, FromRowsRejectsRagged) {
+  EXPECT_DEATH(Matrix::FromRows({{1, 2}, {3}}), "ragged");
+}
+
+TEST(MatrixTest, MatMulKnownProduct) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MatMulIdentityIsNoop) {
+  Rng rng(3);
+  Matrix a = Matrix::RandomGaussian(4, 4, &rng);
+  Matrix c = a.MatMul(Matrix::Identity(4));
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t col = 0; col < 4; ++col) {
+      EXPECT_DOUBLE_EQ(c(r, col), a(r, col));
+    }
+  }
+}
+
+TEST(MatrixTest, TransposeMatMulMatchesExplicitTranspose) {
+  Rng rng(5);
+  Matrix a = Matrix::RandomGaussian(5, 3, &rng);
+  Matrix b = Matrix::RandomGaussian(5, 4, &rng);
+  Matrix direct = a.TransposeMatMul(b);
+  Matrix expected = a.Transpose().MatMul(b);
+  ASSERT_TRUE(direct.SameShape(expected));
+  for (size_t r = 0; r < direct.rows(); ++r) {
+    for (size_t c = 0; c < direct.cols(); ++c) {
+      EXPECT_NEAR(direct(r, c), expected(r, c), 1e-12);
+    }
+  }
+}
+
+TEST(MatrixTest, MatMulTransposeMatchesExplicitTranspose) {
+  Rng rng(7);
+  Matrix a = Matrix::RandomGaussian(4, 6, &rng);
+  Matrix b = Matrix::RandomGaussian(3, 6, &rng);
+  Matrix direct = a.MatMulTranspose(b);
+  Matrix expected = a.MatMul(b.Transpose());
+  ASSERT_TRUE(direct.SameShape(expected));
+  for (size_t r = 0; r < direct.rows(); ++r) {
+    for (size_t c = 0; c < direct.cols(); ++c) {
+      EXPECT_NEAR(direct(r, c), expected(r, c), 1e-12);
+    }
+  }
+}
+
+TEST(MatrixDeathTest, MatMulShapeMismatchAborts) {
+  Matrix a(2, 3), b(4, 2);
+  EXPECT_DEATH(a.MatMul(b), "BHPO_CHECK");
+}
+
+TEST(MatrixTest, ElementwiseOps) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{10, 20}, {30, 40}});
+  a.Add(b);
+  EXPECT_DOUBLE_EQ(a(1, 1), 44.0);
+  a.Sub(b);
+  EXPECT_DOUBLE_EQ(a(1, 1), 4.0);
+  a.MulElem(b);
+  EXPECT_DOUBLE_EQ(a(0, 0), 10.0);
+  a.Scale(0.5);
+  EXPECT_DOUBLE_EQ(a(0, 0), 5.0);
+}
+
+TEST(MatrixTest, AddScaled) {
+  Matrix a(2, 2, 1.0);
+  Matrix b(2, 2, 2.0);
+  a.AddScaled(b, -0.5);
+  EXPECT_DOUBLE_EQ(a(0, 0), 0.0);
+}
+
+TEST(MatrixTest, AddRowBroadcast) {
+  Matrix a(3, 2, 1.0);
+  Matrix row = Matrix::FromRows({{10, 20}});
+  a.AddRowBroadcast(row);
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_DOUBLE_EQ(a(r, 0), 11.0);
+    EXPECT_DOUBLE_EQ(a(r, 1), 21.0);
+  }
+}
+
+TEST(MatrixTest, ColSums) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  Matrix sums = a.ColSums();
+  EXPECT_EQ(sums.rows(), 1u);
+  EXPECT_DOUBLE_EQ(sums(0, 0), 9.0);
+  EXPECT_DOUBLE_EQ(sums(0, 1), 12.0);
+}
+
+TEST(MatrixTest, SelectRows) {
+  Matrix a = Matrix::FromRows({{1, 1}, {2, 2}, {3, 3}});
+  Matrix s = a.SelectRows({2, 0});
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_DOUBLE_EQ(s(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(s(1, 0), 1.0);
+}
+
+TEST(MatrixTest, SumSquaresAndDotAndMaxAbs) {
+  Matrix a = Matrix::FromRows({{1, -2}, {3, -4}});
+  EXPECT_DOUBLE_EQ(a.SumSquares(), 30.0);
+  Matrix b = Matrix::FromRows({{1, 1}, {1, 1}});
+  EXPECT_DOUBLE_EQ(a.Dot(b), -2.0);
+  EXPECT_DOUBLE_EQ(a.MaxAbs(), 4.0);
+}
+
+TEST(MatrixTest, RandomUniformRespectsLimit) {
+  Rng rng(11);
+  Matrix m = Matrix::RandomUniform(10, 10, &rng, 0.25);
+  EXPECT_LE(m.MaxAbs(), 0.25);
+  EXPECT_GT(m.MaxAbs(), 0.0);
+}
+
+TEST(MatrixTest, RowVectorCopies) {
+  Matrix a = Matrix::FromRows({{7, 8, 9}});
+  std::vector<double> v = a.RowVector(0);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[2], 9.0);
+}
+
+}  // namespace
+}  // namespace bhpo

@@ -1,0 +1,161 @@
+#include "cv/cross_validate.h"
+
+#include <memory>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "cv/stratified_kfold.h"
+#include "data/synthetic.h"
+#include "ml/mlp.h"
+
+namespace bhpo {
+namespace {
+
+// Deterministic stub model: predicts the majority class of its training
+// set. Lets CV tests check plumbing without MLP nondeterminism/cost.
+class MajorityModel : public Model {
+ public:
+  Status Fit(const Dataset& train) override {
+    if (train.n() == 0) return Status::InvalidArgument("empty");
+    std::vector<size_t> counts = train.ClassCounts();
+    majority_ = static_cast<int>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+    return Status::OK();
+  }
+  std::vector<int> PredictLabels(const Matrix& x) const override {
+    return std::vector<int>(x.rows(), majority_);
+  }
+  std::vector<double> PredictValues(const Matrix&) const override {
+    BHPO_CHECK(false) << "classification stub";
+    return {};
+  }
+
+ private:
+  int majority_ = 0;
+};
+
+// A model whose Fit always fails, for the divergence path.
+class BrokenModel : public Model {
+ public:
+  Status Fit(const Dataset&) override {
+    return Status::Internal("synthetic divergence");
+  }
+  std::vector<int> PredictLabels(const Matrix&) const override { return {}; }
+  std::vector<double> PredictValues(const Matrix&) const override {
+    return {};
+  }
+};
+
+Dataset SkewedData(size_t n = 100, double positive_share = 0.3) {
+  BlobsSpec spec;
+  spec.n = n;
+  spec.num_features = 2;
+  spec.num_classes = 2;
+  spec.class_weights = {1.0 - positive_share, positive_share};
+  spec.seed = 1;
+  return MakeBlobs(spec).value();
+}
+
+FoldSet FiveFolds(const Dataset& data) {
+  std::vector<size_t> subset(data.n());
+  std::iota(subset.begin(), subset.end(), 0);
+  Rng rng(2);
+  StratifiedKFold builder;
+  return builder.Build(data, subset, 5, &rng).value();
+}
+
+TEST(MeanStddevTest, KnownValues) {
+  double mean = 0.0, stddev = 0.0;
+  MeanStddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}, &mean, &stddev);
+  EXPECT_DOUBLE_EQ(mean, 5.0);
+  EXPECT_DOUBLE_EQ(stddev, 2.0);  // Population stddev.
+}
+
+TEST(MeanStddevTest, EmptyIsZero) {
+  double mean = 1.0, stddev = 1.0;
+  MeanStddev({}, &mean, &stddev);
+  EXPECT_DOUBLE_EQ(mean, 0.0);
+  EXPECT_DOUBLE_EQ(stddev, 0.0);
+}
+
+TEST(CrossValidateTest, MajorityModelScoresItsBaseRate) {
+  Dataset data = SkewedData(200, 0.3);
+  FoldSet folds = FiveFolds(data);
+  CvOutcome outcome =
+      CrossValidate(data, folds,
+                    [] { return std::make_unique<MajorityModel>(); })
+          .value();
+  ASSERT_EQ(outcome.fold_scores.size(), 5u);
+  // Majority class is 70% of every stratified fold.
+  EXPECT_NEAR(outcome.mean, 0.7, 0.05);
+  EXPECT_EQ(outcome.subset_size, 200u);
+}
+
+TEST(CrossValidateTest, FailedFitGetsWorstScoreNotError) {
+  Dataset data = SkewedData(50);
+  FoldSet folds = FiveFolds(data);
+  CvOutcome outcome =
+      CrossValidate(data, folds,
+                    [] { return std::make_unique<BrokenModel>(); })
+          .value();
+  for (double s : outcome.fold_scores) EXPECT_DOUBLE_EQ(s, 0.0);
+  EXPECT_DOUBLE_EQ(outcome.mean, 0.0);
+}
+
+TEST(CrossValidateTest, EmptyFoldsAreSkipped) {
+  Dataset data = SkewedData(40);
+  FoldSet folds = FiveFolds(data);
+  folds.folds.push_back({});  // A 6th, empty fold.
+  CvOutcome outcome =
+      CrossValidate(data, folds,
+                    [] { return std::make_unique<MajorityModel>(); })
+          .value();
+  EXPECT_EQ(outcome.fold_scores.size(), 5u);
+}
+
+TEST(CrossValidateTest, RejectsBadInputs) {
+  Dataset data = SkewedData(40);
+  FoldSet folds = FiveFolds(data);
+  EXPECT_FALSE(CrossValidate(data, folds, nullptr).ok());
+  FoldSet one;
+  one.folds = {{0, 1, 2}};
+  EXPECT_FALSE(
+      CrossValidate(data, one,
+                    [] { return std::make_unique<MajorityModel>(); })
+          .ok());
+  FoldSet overlapping;
+  overlapping.folds = {{0, 1}, {1, 2}};
+  EXPECT_FALSE(
+      CrossValidate(data, overlapping,
+                    [] { return std::make_unique<MajorityModel>(); })
+          .ok());
+}
+
+TEST(CrossValidateTest, WithRealMlpOnEasyData) {
+  BlobsSpec spec;
+  spec.n = 100;
+  spec.num_features = 3;
+  spec.num_classes = 2;
+  spec.clusters_per_class = 1;
+  spec.cluster_spread = 0.3;
+  spec.center_spread = 6.0;
+  spec.seed = 5;
+  Dataset data = MakeBlobs(spec).value().Standardized();
+  FoldSet folds = FiveFolds(data);
+  MlpConfig config;
+  config.hidden_layer_sizes = {8};
+  config.solver = Solver::kAdam;
+  config.max_iter = 40;
+  config.learning_rate_init = 0.01;
+  config.seed = 6;
+  CvOutcome outcome =
+      CrossValidate(data, folds,
+                    [&config] { return std::make_unique<MlpModel>(config); })
+          .value();
+  EXPECT_GT(outcome.mean, 0.85);
+  EXPECT_GE(outcome.stddev, 0.0);
+}
+
+}  // namespace
+}  // namespace bhpo

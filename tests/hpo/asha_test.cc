@@ -1,0 +1,87 @@
+#include "hpo/asha.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/hpo/fake_strategy.h"
+
+namespace bhpo {
+namespace {
+
+TEST(AshaTest, NoiselessFindsGoodArm) {
+  ConfigSpace space = QualitySpace(10);
+  FakeStrategy strategy(0.0);
+  AshaOptions options;
+  options.max_jobs = 80;
+  Asha asha(&space, &strategy, options);
+  Dataset data = BudgetDataset(800);
+  Rng rng(1);
+  HpoResult result = asha.Optimize(data, &rng).value();
+  double q = ParseDouble(result.best_config.Get("q").value()).value();
+  EXPECT_GE(q, 0.7);
+}
+
+TEST(AshaTest, RunsExactlyMaxJobs) {
+  ConfigSpace space = QualitySpace(5);
+  FakeStrategy strategy(0.0);
+  AshaOptions options;
+  options.max_jobs = 25;
+  Asha asha(&space, &strategy, options);
+  Dataset data = BudgetDataset(400);
+  Rng rng(2);
+  HpoResult result = asha.Optimize(data, &rng).value();
+  EXPECT_EQ(result.num_evaluations, 25u);
+}
+
+TEST(AshaTest, PromotionsReachHigherBudgets) {
+  ConfigSpace space = QualitySpace(6);
+  FakeStrategy strategy(0.0);
+  AshaOptions options;
+  options.max_jobs = 60;
+  options.min_budget = 50;
+  Asha asha(&space, &strategy, options);
+  Dataset data = BudgetDataset(800);
+  Rng rng(3);
+  HpoResult result = asha.Optimize(data, &rng).value();
+  size_t max_budget = 0;
+  for (const auto& rec : result.history) {
+    max_budget = std::max(max_budget, rec.budget);
+  }
+  EXPECT_EQ(max_budget, 800u);  // Some config reached the top rung.
+}
+
+TEST(AshaTest, EarlyJobsStartAtRungZero) {
+  ConfigSpace space = QualitySpace(6);
+  FakeStrategy strategy(0.0);
+  AshaOptions options;
+  options.max_jobs = 10;
+  options.min_budget = 50;
+  Asha asha(&space, &strategy, options);
+  Dataset data = BudgetDataset(800);
+  Rng rng(4);
+  HpoResult result = asha.Optimize(data, &rng).value();
+  EXPECT_EQ(result.history.front().budget, 50u);
+}
+
+TEST(AshaTest, FewJobsFallsBackToBestPopulatedRung) {
+  ConfigSpace space = QualitySpace(6);
+  FakeStrategy strategy(0.0);
+  AshaOptions options;
+  options.max_jobs = 2;  // Nothing can reach the top rung.
+  options.min_budget = 20;
+  Asha asha(&space, &strategy, options);
+  Dataset data = BudgetDataset(2000);
+  Rng rng(5);
+  HpoResult result = asha.Optimize(data, &rng).value();
+  EXPECT_TRUE(result.best_config.Has("q"));
+}
+
+TEST(AshaTest, RejectsNullRng) {
+  ConfigSpace space = QualitySpace(4);
+  FakeStrategy strategy(0.0);
+  Asha asha(&space, &strategy);
+  Dataset data = BudgetDataset(100);
+  EXPECT_FALSE(asha.Optimize(data, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace bhpo

@@ -1,0 +1,113 @@
+#include "hpo/beta_weight.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "hpo/scoring.h"
+
+namespace bhpo {
+namespace {
+
+constexpr double kBetaMax = 10.0;
+
+TEST(BetaWeightTest, MidpointIsHalfBetaMax) {
+  // Figure 3: beta(50) = beta_max / 2.
+  EXPECT_NEAR(BetaWeight(50.0, kBetaMax), kBetaMax / 2.0, 1e-12);
+}
+
+TEST(BetaWeightTest, EndpointsHitBetaMaxAndZero) {
+  EXPECT_NEAR(BetaWeight(BetaGammaMin(kBetaMax), kBetaMax), kBetaMax, 1e-9);
+  EXPECT_NEAR(BetaWeight(BetaGammaMax(kBetaMax), kBetaMax), 0.0, 1e-9);
+}
+
+TEST(BetaWeightTest, ClippingBeyondThresholds) {
+  // Below gamma_min and above gamma_max the weight saturates.
+  EXPECT_NEAR(BetaWeight(0.0, kBetaMax), kBetaMax, 1e-9);
+  EXPECT_NEAR(BetaWeight(100.0, kBetaMax), 0.0, 1e-9);
+  EXPECT_NEAR(BetaWeight(-5.0, kBetaMax), kBetaMax, 1e-9);
+}
+
+TEST(BetaWeightTest, MonotonicallyDecreasing) {
+  double prev = BetaWeight(0.5, kBetaMax);
+  for (double g = 1.0; g <= 100.0; g += 0.5) {
+    double b = BetaWeight(g, kBetaMax);
+    EXPECT_LE(b, prev + 1e-12) << "gamma=" << g;
+    prev = b;
+  }
+}
+
+TEST(BetaWeightTest, SymmetricAboutFiftyPercent) {
+  // Section III-C: "a symmetric design for sizes larger than 50%".
+  for (double d : {5.0, 15.0, 30.0, 45.0}) {
+    double below = BetaWeight(50.0 - d, kBetaMax);
+    double above = BetaWeight(50.0 + d, kBetaMax);
+    EXPECT_NEAR(below - kBetaMax / 2.0, kBetaMax / 2.0 - above, 1e-9)
+        << "d=" << d;
+  }
+}
+
+TEST(BetaWeightTest, ThresholdFormulasMatchPaper) {
+  EXPECT_NEAR(BetaGammaMin(kBetaMax), 50.0 * (1.0 - std::tanh(2.5)), 1e-12);
+  EXPECT_NEAR(BetaGammaMax(kBetaMax), 50.0 * (1.0 + std::tanh(2.5)), 1e-12);
+  // For beta_max = 10 these are ~0.67% and ~99.33%.
+  EXPECT_NEAR(BetaGammaMin(kBetaMax), 0.669, 0.01);
+  EXPECT_NEAR(BetaGammaMax(kBetaMax), 99.33, 0.01);
+}
+
+TEST(BetaWeightTest, SmallerBetaMaxNarrowsTheRange) {
+  EXPECT_GT(BetaGammaMin(2.0), BetaGammaMin(10.0));
+  EXPECT_LT(BetaGammaMax(2.0), BetaGammaMax(10.0));
+  EXPECT_NEAR(BetaWeight(50.0, 2.0), 1.0, 1e-12);
+}
+
+TEST(ScoreOutcomeTest, VanillaIsMeanOnly) {
+  CvOutcome cv;
+  cv.mean = 0.8;
+  cv.stddev = 0.1;
+  ScoringOptions opts;
+  opts.use_variance = false;
+  EXPECT_DOUBLE_EQ(ScoreOutcome(cv, 10.0, opts), 0.8);
+}
+
+TEST(ScoreOutcomeTest, Equation3AddsWeightedVariance) {
+  CvOutcome cv;
+  cv.mean = 0.8;
+  cv.stddev = 0.1;
+  ScoringOptions opts;
+  opts.use_variance = true;
+  opts.alpha = 0.1;
+  opts.beta_max = 10.0;
+  double expected = 0.8 + 0.1 * BetaWeight(10.0, 10.0) * 0.1;
+  EXPECT_NEAR(ScoreOutcome(cv, 10.0, opts), expected, 1e-12);
+}
+
+TEST(ScoreOutcomeTest, VarianceMattersMoreAtSmallSubsets) {
+  CvOutcome cv;
+  cv.mean = 0.8;
+  cv.stddev = 0.1;
+  ScoringOptions opts;
+  opts.use_variance = true;
+  double small = ScoreOutcome(cv, 5.0, opts);
+  double large = ScoreOutcome(cv, 95.0, opts);
+  EXPECT_GT(small, large);
+  // At ~full budget the bonus vanishes: score == mean.
+  EXPECT_NEAR(ScoreOutcome(cv, 100.0, opts), 0.8, 1e-9);
+}
+
+TEST(ScoreOutcomeTest, AlphaBetaMaxNormalization) {
+  // With beta_max = 1/alpha the combined weight spans [0, 1], so the bonus
+  // never exceeds one stddev.
+  CvOutcome cv;
+  cv.mean = 0.0;
+  cv.stddev = 1.0;
+  ScoringOptions opts;
+  opts.use_variance = true;
+  opts.alpha = 0.1;
+  opts.beta_max = 10.0;
+  EXPECT_LE(ScoreOutcome(cv, 0.0, opts), 1.0 + 1e-12);
+  EXPECT_NEAR(ScoreOutcome(cv, 0.0, opts), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace bhpo

@@ -1,0 +1,130 @@
+#include "hpo/config_space.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace bhpo {
+namespace {
+
+TEST(ConfigurationTest, SetGetOverwrite) {
+  Configuration c;
+  c.Set("a", "1");
+  c.Set("b", "x");
+  c.Set("a", "2");  // Overwrite.
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.Get("a").value(), "2");
+  EXPECT_EQ(c.GetOr("missing", "fallback"), "fallback");
+  EXPECT_FALSE(c.Get("missing").ok());
+  EXPECT_TRUE(c.Has("b"));
+}
+
+TEST(ConfigurationTest, ToStringStableOrder) {
+  Configuration c;
+  c.Set("solver", "adam");
+  c.Set("activation", "relu");
+  EXPECT_EQ(c.ToString(), "{solver=adam, activation=relu}");
+}
+
+TEST(ConfigurationTest, KeyEqualityIgnoresInsertionOrder) {
+  Configuration a, b;
+  a.Set("x", "1");
+  a.Set("y", "2");
+  b.Set("y", "2");
+  b.Set("x", "1");
+  EXPECT_TRUE(a == b);
+  Configuration c = a;
+  c.Set("x", "9");
+  EXPECT_FALSE(a == c);
+}
+
+TEST(ConfigSpaceTest, AddRejectsDuplicatesAndEmptyDomains) {
+  ConfigSpace space;
+  EXPECT_TRUE(space.Add("a", {"1", "2"}).ok());
+  EXPECT_EQ(space.Add("a", {"3"}).code(), StatusCode::kAlreadyExists);
+  EXPECT_FALSE(space.Add("b", {}).ok());
+  EXPECT_FALSE(space.Add("", {"1"}).ok());
+}
+
+TEST(ConfigSpaceTest, GridSizeIsProductOfDomains) {
+  ConfigSpace space;
+  ASSERT_TRUE(space.Add("a", {"1", "2", "3"}).ok());
+  ASSERT_TRUE(space.Add("b", {"x", "y"}).ok());
+  EXPECT_EQ(space.GridSize(), 6u);
+  EXPECT_EQ(ConfigSpace().GridSize(), 1u);
+}
+
+TEST(ConfigSpaceTest, GridEnumerationIsBijective) {
+  ConfigSpace space;
+  ASSERT_TRUE(space.Add("a", {"1", "2", "3"}).ok());
+  ASSERT_TRUE(space.Add("b", {"x", "y"}).ok());
+  std::vector<Configuration> all = space.EnumerateGrid();
+  ASSERT_EQ(all.size(), 6u);
+  std::set<std::string> keys;
+  for (const Configuration& c : all) keys.insert(c.Key());
+  EXPECT_EQ(keys.size(), 6u);  // All distinct.
+  for (const Configuration& c : all) {
+    EXPECT_TRUE(c.Has("a"));
+    EXPECT_TRUE(c.Has("b"));
+  }
+}
+
+TEST(ConfigSpaceTest, SampleStaysInDomain) {
+  ConfigSpace space;
+  ASSERT_TRUE(space.Add("a", {"1", "2"}).ok());
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    std::string v = space.Sample(&rng).Get("a").value();
+    EXPECT_TRUE(v == "1" || v == "2");
+  }
+}
+
+TEST(ConfigSpaceTest, SampleCoversDomain) {
+  ConfigSpace space;
+  ASSERT_TRUE(space.Add("a", {"1", "2", "3"}).ok());
+  Rng rng(4);
+  std::set<std::string> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(space.Sample(&rng).Get("a").value());
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(ConfigSpaceTest, IndexOfFindsParams) {
+  ConfigSpace space;
+  ASSERT_TRUE(space.Add("first", {"1"}).ok());
+  ASSERT_TRUE(space.Add("second", {"2"}).ok());
+  EXPECT_EQ(space.IndexOf("second").value(), 1u);
+  EXPECT_FALSE(space.IndexOf("third").ok());
+}
+
+TEST(PaperSpaceTest, TableFourSpaceHas162Configurations) {
+  // 4 hyperparameters: 6 * 3 * 3 * 3 = 162, as in Section IV-B.
+  ConfigSpace space = ConfigSpace::PaperSpace(4);
+  EXPECT_EQ(space.num_hyperparameters(), 4u);
+  EXPECT_EQ(space.GridSize(), 162u);
+}
+
+TEST(PaperSpaceTest, FullSpaceHas8748Configurations) {
+  ConfigSpace space = ConfigSpace::PaperSpace(8);
+  EXPECT_EQ(space.GridSize(), 6u * 3 * 3 * 3 * 3 * 3 * 3 * 2);
+}
+
+TEST(PaperSpaceTest, HyperparameterOrderMatchesTable3) {
+  ConfigSpace space = ConfigSpace::PaperSpace(8);
+  EXPECT_EQ(space.param(0).name, "hidden_layer_sizes");
+  EXPECT_EQ(space.param(1).name, "activation");
+  EXPECT_EQ(space.param(2).name, "solver");
+  EXPECT_EQ(space.param(3).name, "learning_rate_init");
+  EXPECT_EQ(space.param(4).name, "batch_size");
+  EXPECT_EQ(space.param(5).name, "learning_rate");
+  EXPECT_EQ(space.param(6).name, "momentum");
+  EXPECT_EQ(space.param(7).name, "early_stopping");
+}
+
+TEST(PaperSpaceTest, CvExperimentSpaceHas18Configurations) {
+  // Section IV-C uses hidden_layer_sizes x activation = 6 * 3 = 18.
+  ConfigSpace space = ConfigSpace::PaperSpace(2);
+  EXPECT_EQ(space.GridSize(), 18u);
+}
+
+}  // namespace
+}  // namespace bhpo

@@ -1,0 +1,90 @@
+#include "hpo/dehb.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tests/hpo/fake_strategy.h"
+
+namespace bhpo {
+namespace {
+
+TEST(DeEncodingTest, EncodeDecodeRoundTrip) {
+  ConfigSpace space;
+  ASSERT_TRUE(space.Add("a", {"x", "y", "z"}).ok());
+  ASSERT_TRUE(space.Add("b", {"1", "2"}).ok());
+  DeConfigSampler sampler(&space);
+  for (const Configuration& config : space.EnumerateGrid()) {
+    Configuration round_trip = sampler.Decode(sampler.Encode(config));
+    EXPECT_TRUE(config == round_trip) << config.ToString();
+  }
+}
+
+TEST(DeEncodingTest, DecodeClampsOutOfRange) {
+  ConfigSpace space;
+  ASSERT_TRUE(space.Add("a", {"x", "y"}).ok());
+  DeConfigSampler sampler(&space);
+  EXPECT_EQ(sampler.Decode({-0.3}).Get("a").value(), "x");
+  EXPECT_EQ(sampler.Decode({1.7}).Get("a").value(), "y");
+  EXPECT_EQ(sampler.Decode({0.49}).Get("a").value(), "x");
+  EXPECT_EQ(sampler.Decode({0.51}).Get("a").value(), "y");
+}
+
+TEST(DeSamplerTest, UniformBeforeEnoughObservations) {
+  ConfigSpace space = QualitySpace(5);
+  DeConfigSampler sampler(&space);
+  Rng rng(1);
+  std::set<std::string> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(sampler.Sample(&rng).Get("q").value());
+  }
+  EXPECT_EQ(seen.size(), 5u);  // Uniform exploration covers the domain.
+}
+
+TEST(DeSamplerTest, EvolutionConcentratesNearGoodValues) {
+  ConfigSpace space = QualitySpace(10);  // Values 0.00 .. 0.90.
+  DeOptions options;
+  options.min_points = 5;
+  options.population_size = 5;
+  DeConfigSampler sampler(&space, options);
+  Rng rng(2);
+  // Observations: quality == score; top of the population sits at 0.9.
+  for (const Configuration& config : space.EnumerateGrid()) {
+    double q = ParseDouble(config.Get("q").value()).value();
+    sampler.Observe(config, q, 100);
+  }
+  double mean_q = 0.0;
+  const int kDraws = 300;
+  for (int i = 0; i < kDraws; ++i) {
+    mean_q += ParseDouble(sampler.Sample(&rng).Get("q").value()).value();
+  }
+  mean_q /= kDraws;
+  // Uniform sampling would average 0.45; DE over the top-5 population
+  // (0.5 .. 0.9) must sit well above that.
+  EXPECT_GT(mean_q, 0.55);
+}
+
+TEST(DehbTest, NoiselessFindsTopTierArm) {
+  ConfigSpace space = QualitySpace(10);
+  FakeStrategy strategy(0.0);
+  Dehb dehb(&space, &strategy);
+  Dataset data = BudgetDataset(810);
+  Rng rng(3);
+  HpoResult result = dehb.Optimize(data, &rng).value();
+  double q = ParseDouble(result.best_config.Get("q").value()).value();
+  EXPECT_GE(q, 0.8);
+}
+
+TEST(DehbTest, WorksWithNoise) {
+  ConfigSpace space = QualitySpace(8);
+  FakeStrategy strategy(0.4);
+  Dehb dehb(&space, &strategy);
+  Dataset data = BudgetDataset(400);
+  Rng rng(4);
+  HpoResult result = dehb.Optimize(data, &rng).value();
+  EXPECT_TRUE(result.best_config.Has("q"));
+  EXPECT_GT(result.num_evaluations, 10u);
+}
+
+}  // namespace
+}  // namespace bhpo

@@ -1,0 +1,148 @@
+#include "hpo/sha.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/hpo/fake_strategy.h"
+
+namespace bhpo {
+namespace {
+
+TEST(TopIndicesByScoreTest, RanksDescendingAndStable) {
+  std::vector<double> scores = {0.5, 0.9, 0.9, 0.1};
+  std::vector<size_t> top = TopIndicesByScore(scores, 3);
+  EXPECT_EQ(top, (std::vector<size_t>{1, 2, 0}));  // Stable tie at 0.9.
+}
+
+TEST(TopIndicesByScoreTest, KeepClampedToSize) {
+  std::vector<double> scores = {0.1, 0.2};
+  EXPECT_EQ(TopIndicesByScore(scores, 10).size(), 2u);
+}
+
+TEST(ShaTest, NoiselessPicksTheBestArm) {
+  ConfigSpace space = QualitySpace(8);
+  FakeStrategy strategy(0.0);
+  SuccessiveHalving sha(space.EnumerateGrid(), &strategy);
+  Dataset data = BudgetDataset(800);
+  Rng rng(1);
+  HpoResult result = sha.Optimize(data, &rng).value();
+  EXPECT_EQ(result.best_config.Get("q").value(), "0.70");  // Highest quality.
+  EXPECT_NEAR(result.best_score, 0.7, 1e-9);
+}
+
+TEST(ShaTest, HalvingScheduleMatchesFigure1) {
+  // 8 configs, eta = 2: rungs of 8, 4, 2 evaluations then 1 survivor.
+  ConfigSpace space = QualitySpace(8);
+  FakeStrategy strategy(0.0);
+  SuccessiveHalving sha(space.EnumerateGrid(), &strategy);
+  Dataset data = BudgetDataset(800);
+  Rng rng(2);
+  HpoResult result = sha.Optimize(data, &rng).value();
+  EXPECT_EQ(result.num_evaluations, 8u + 4u + 2u);
+  // Budgets per rung: B/8, B/4, B/2 (Figure 1's 1/8, 1/4, 1/2 shares).
+  EXPECT_EQ(result.history[0].budget, 100u);
+  EXPECT_EQ(result.history[8].budget, 200u);
+  EXPECT_EQ(result.history[12].budget, 400u);
+}
+
+TEST(ShaTest, BudgetGrowsAsCandidatesShrink) {
+  ConfigSpace space = QualitySpace(16);
+  FakeStrategy strategy(0.0);
+  SuccessiveHalving sha(space.EnumerateGrid(), &strategy);
+  Dataset data = BudgetDataset(1600);
+  Rng rng(3);
+  HpoResult result = sha.Optimize(data, &rng).value();
+  size_t prev_budget = 0;
+  for (size_t i = 0; i + 1 < result.history.size(); ++i) {
+    EXPECT_GE(result.history[i + 1].budget, result.history[i].budget);
+    prev_budget = result.history[i].budget;
+  }
+  (void)prev_budget;
+}
+
+TEST(ShaTest, EtaFourKeepsQuarter) {
+  ConfigSpace space = QualitySpace(16);
+  FakeStrategy strategy(0.0);
+  ShaOptions options;
+  options.eta = 4;
+  SuccessiveHalving sha(space.EnumerateGrid(), &strategy, options);
+  Dataset data = BudgetDataset(1600);
+  Rng rng(4);
+  HpoResult result = sha.Optimize(data, &rng).value();
+  // Rungs: 16 -> 4 -> 1, so 16 + 4 evaluations.
+  EXPECT_EQ(result.num_evaluations, 20u);
+  EXPECT_EQ(result.best_config.Get("q").value(), "1.50");
+}
+
+TEST(ShaTest, SingleCandidateEvaluatedAtFullBudget) {
+  ConfigSpace space = QualitySpace(1);
+  FakeStrategy strategy(0.0);
+  SuccessiveHalving sha(space.EnumerateGrid(), &strategy);
+  Dataset data = BudgetDataset(100);
+  Rng rng(5);
+  HpoResult result = sha.Optimize(data, &rng).value();
+  EXPECT_EQ(result.num_evaluations, 1u);
+  EXPECT_EQ(result.history[0].budget, 100u);
+}
+
+TEST(ShaTest, NoisyEvaluationCanDropGoodArmsButStillReturnsSomething) {
+  ConfigSpace space = QualitySpace(8);
+  FakeStrategy strategy(3.0);  // Very noisy at small budgets.
+  SuccessiveHalving sha(space.EnumerateGrid(), &strategy);
+  Dataset data = BudgetDataset(400);
+  Rng rng(6);
+  HpoResult result = sha.Optimize(data, &rng).value();
+  EXPECT_TRUE(result.best_config.Has("q"));
+  EXPECT_EQ(result.history.size(), result.num_evaluations);
+}
+
+TEST(ShaTest, TotalInstancesAccountedFor) {
+  ConfigSpace space = QualitySpace(4);
+  FakeStrategy strategy(0.0);
+  SuccessiveHalving sha(space.EnumerateGrid(), &strategy);
+  Dataset data = BudgetDataset(400);
+  Rng rng(7);
+  HpoResult result = sha.Optimize(data, &rng).value();
+  size_t total = 0;
+  for (const auto& rec : result.history) total += rec.budget;
+  EXPECT_EQ(result.total_instances, total);
+}
+
+TEST(ShaTest, ParallelPoolMatchesSerialResult) {
+  // Same seed, with and without a worker pool: identical winner and
+  // history scores (per-candidate RNG forking decouples results from
+  // scheduling).
+  ConfigSpace space = QualitySpace(8);
+  Dataset data = BudgetDataset(800);
+
+  FakeStrategy serial_strategy(0.7);
+  SuccessiveHalving serial(space.EnumerateGrid(), &serial_strategy);
+  Rng rng_serial(11);
+  HpoResult serial_result = serial.Optimize(data, &rng_serial).value();
+
+  ThreadPool pool(4);
+  FakeStrategy parallel_strategy(0.7);
+  ShaOptions options;
+  options.pool = &pool;
+  SuccessiveHalving parallel(space.EnumerateGrid(), &parallel_strategy,
+                             options);
+  Rng rng_parallel(11);
+  HpoResult parallel_result = parallel.Optimize(data, &rng_parallel).value();
+
+  EXPECT_TRUE(serial_result.best_config == parallel_result.best_config);
+  ASSERT_EQ(serial_result.history.size(), parallel_result.history.size());
+  for (size_t i = 0; i < serial_result.history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial_result.history[i].score,
+                     parallel_result.history[i].score);
+  }
+}
+
+TEST(ShaTest, RejectsNullRng) {
+  ConfigSpace space = QualitySpace(4);
+  FakeStrategy strategy(0.0);
+  SuccessiveHalving sha(space.EnumerateGrid(), &strategy);
+  Dataset data = BudgetDataset(100);
+  EXPECT_FALSE(sha.Optimize(data, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace bhpo

@@ -1,0 +1,122 @@
+#include "hpo/smac.h"
+
+#include <gtest/gtest.h>
+
+#include "hpo/tpe_search.h"
+#include "tests/hpo/fake_strategy.h"
+
+namespace bhpo {
+namespace {
+
+TEST(ExpectedImprovementTest, ZeroStddevIsDeterministicImprovement) {
+  EXPECT_DOUBLE_EQ(ExpectedImprovement(0.9, 0.0, 0.5, 0.0), 0.4);
+  EXPECT_DOUBLE_EQ(ExpectedImprovement(0.3, 0.0, 0.5, 0.0), 0.0);
+}
+
+TEST(ExpectedImprovementTest, UncertaintyAddsValue) {
+  // Same mean below the incumbent: only uncertainty can yield improvement.
+  double certain = ExpectedImprovement(0.4, 0.0, 0.5, 0.0);
+  double uncertain = ExpectedImprovement(0.4, 0.2, 0.5, 0.0);
+  EXPECT_DOUBLE_EQ(certain, 0.0);
+  EXPECT_GT(uncertain, 0.0);
+}
+
+TEST(ExpectedImprovementTest, MonotoneInMean) {
+  EXPECT_GT(ExpectedImprovement(0.8, 0.1, 0.5, 0.0),
+            ExpectedImprovement(0.6, 0.1, 0.5, 0.0));
+}
+
+TEST(ExpectedImprovementTest, SymmetricFormulaSanity) {
+  // At mean == best, EI = stddev * pdf(0) = stddev * 0.3989...
+  double ei = ExpectedImprovement(0.5, 1.0, 0.5, 0.0);
+  EXPECT_NEAR(ei, 0.398942, 1e-5);
+}
+
+TEST(SmacTest, ConvergesToGoodArmNoiseless) {
+  ConfigSpace space = QualitySpace(10);
+  FakeStrategy strategy(0.0);
+  SmacOptions options;
+  options.num_iterations = 25;
+  options.initial_random = 6;
+  Smac smac(&space, &strategy, options);
+  Dataset data = BudgetDataset(200);
+  Rng rng(1);
+  HpoResult result = smac.Optimize(data, &rng).value();
+  EXPECT_EQ(result.num_evaluations, 25u);
+  double q = ParseDouble(result.best_config.Get("q").value()).value();
+  EXPECT_GE(q, 0.8);
+}
+
+TEST(SmacTest, AllEvaluationsAtFullBudget) {
+  ConfigSpace space = QualitySpace(5);
+  FakeStrategy strategy(0.1);
+  SmacOptions options;
+  options.num_iterations = 10;
+  Smac smac(&space, &strategy, options);
+  Dataset data = BudgetDataset(300);
+  Rng rng(2);
+  HpoResult result = smac.Optimize(data, &rng).value();
+  for (const auto& rec : result.history) {
+    EXPECT_EQ(rec.budget, 300u);
+  }
+}
+
+TEST(SmacTest, SurrogatePhaseOutperformsItsWarmStart) {
+  // With a clean signal, the mean score of the model-guided phase should
+  // beat the mean score of the random warm start.
+  ConfigSpace space = QualitySpace(10);
+  FakeStrategy strategy(0.02);
+  SmacOptions options;
+  options.num_iterations = 24;
+  options.initial_random = 8;
+  Smac smac(&space, &strategy, options);
+  Dataset data = BudgetDataset(200);
+  Rng rng(3);
+  HpoResult result = smac.Optimize(data, &rng).value();
+  double warm_mean = 0.0, guided_mean = 0.0;
+  for (size_t i = 0; i < 8; ++i) warm_mean += result.history[i].score;
+  for (size_t i = 8; i < 24; ++i) guided_mean += result.history[i].score;
+  warm_mean /= 8;
+  guided_mean /= 16;
+  EXPECT_GT(guided_mean, warm_mean);
+}
+
+TEST(SmacTest, RejectsNullRng) {
+  ConfigSpace space = QualitySpace(4);
+  FakeStrategy strategy(0.0);
+  Smac smac(&space, &strategy);
+  Dataset data = BudgetDataset(100);
+  EXPECT_FALSE(smac.Optimize(data, nullptr).ok());
+}
+
+TEST(TpeSearchTest, ConvergesToGoodArmNoiseless) {
+  ConfigSpace space = QualitySpace(10);
+  FakeStrategy strategy(0.0);
+  TpeSearchOptions options;
+  options.num_iterations = 40;
+  options.tpe.min_points = 8;
+  TpeSearch tpe(&space, &strategy, options);
+  Dataset data = BudgetDataset(200);
+  Rng rng(4);
+  HpoResult result = tpe.Optimize(data, &rng).value();
+  EXPECT_EQ(result.num_evaluations, 40u);
+  double q = ParseDouble(result.best_config.Get("q").value()).value();
+  EXPECT_GE(q, 0.8);
+}
+
+TEST(TpeSearchTest, FullBudgetEvaluationsOnly) {
+  ConfigSpace space = QualitySpace(4);
+  FakeStrategy strategy(0.0);
+  TpeSearchOptions options;
+  options.num_iterations = 5;
+  TpeSearch tpe(&space, &strategy, options);
+  Dataset data = BudgetDataset(150);
+  Rng rng(5);
+  HpoResult result = tpe.Optimize(data, &rng).value();
+  for (const auto& rec : result.history) {
+    EXPECT_EQ(rec.budget, 150u);
+  }
+}
+
+}  // namespace
+}  // namespace bhpo

@@ -1,0 +1,84 @@
+#include "metrics/classification.h"
+
+#include <gtest/gtest.h>
+
+namespace bhpo {
+namespace {
+
+TEST(AccuracyTest, PerfectAndZero) {
+  EXPECT_DOUBLE_EQ(Accuracy({0, 1, 2}, {0, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy({0, 0, 0}, {1, 1, 1}), 0.0);
+}
+
+TEST(AccuracyTest, Partial) {
+  EXPECT_DOUBLE_EQ(Accuracy({0, 1, 1, 0}, {0, 1, 0, 1}), 0.5);
+}
+
+TEST(AccuracyTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0);
+}
+
+TEST(ConfusionMatrixTest, CountsInRightCells) {
+  auto m = ConfusionMatrix({0, 0, 1, 1, 1}, {0, 1, 1, 1, 0}, 2);
+  EXPECT_EQ(m[0][0], 1u);
+  EXPECT_EQ(m[0][1], 1u);
+  EXPECT_EQ(m[1][0], 1u);
+  EXPECT_EQ(m[1][1], 2u);
+}
+
+TEST(BinaryF1Test, KnownValue) {
+  // actual positives: 3; predicted positives: 3; tp = 2.
+  // precision = 2/3, recall = 2/3, F1 = 2/3.
+  std::vector<int> actual = {1, 1, 1, 0, 0};
+  std::vector<int> predicted = {1, 1, 0, 1, 0};
+  EXPECT_NEAR(BinaryF1(actual, predicted), 2.0 / 3.0, 1e-12);
+}
+
+TEST(BinaryF1Test, PerfectPrediction) {
+  EXPECT_DOUBLE_EQ(BinaryF1({1, 0, 1}, {1, 0, 1}), 1.0);
+}
+
+TEST(BinaryF1Test, NoPositivesAnywhereGivesZero) {
+  EXPECT_DOUBLE_EQ(BinaryF1({0, 0}, {0, 0}), 0.0);
+}
+
+TEST(BinaryF1Test, IgnoresNegativeClassPerformance) {
+  // All negatives misclassified but positives perfect: F1 of class 1
+  // penalizes the false positives via precision.
+  std::vector<int> actual = {1, 1, 0, 0};
+  std::vector<int> predicted = {1, 1, 1, 1};
+  // tp=2, fp=2, fn=0 -> F1 = 2*2/(2*2+2+0) = 2/3.
+  EXPECT_NEAR(BinaryF1(actual, predicted), 2.0 / 3.0, 1e-12);
+}
+
+TEST(MacroF1Test, AveragesPerClass) {
+  // Class 0: tp=1, fp=0, fn=1 -> F1 = 2/3.
+  // Class 1: tp=1, fp=1, fn=0 -> F1 = 2/3.
+  std::vector<int> actual = {0, 0, 1};
+  std::vector<int> predicted = {0, 1, 1};
+  EXPECT_NEAR(MacroF1(actual, predicted, 2), 2.0 / 3.0, 1e-12);
+}
+
+TEST(MacroF1Test, AbsentClassContributesZero) {
+  // Class 2 never appears: contributes F1 = 0 to the macro average.
+  std::vector<int> actual = {0, 1};
+  std::vector<int> predicted = {0, 1};
+  EXPECT_NEAR(MacroF1(actual, predicted, 3), 2.0 / 3.0, 1e-12);
+}
+
+TEST(PaperF1Test, BinaryUsesPositiveClassF1) {
+  std::vector<int> actual = {1, 1, 1, 0, 0};
+  std::vector<int> predicted = {1, 1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(PaperF1(actual, predicted, 2),
+                   BinaryF1(actual, predicted));
+}
+
+TEST(PaperF1Test, MulticlassUsesMacro) {
+  std::vector<int> actual = {0, 1, 2};
+  std::vector<int> predicted = {0, 2, 1};
+  EXPECT_DOUBLE_EQ(PaperF1(actual, predicted, 3),
+                   MacroF1(actual, predicted, 3));
+}
+
+}  // namespace
+}  // namespace bhpo

@@ -1,0 +1,74 @@
+#include "metrics/ndcg.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace bhpo {
+namespace {
+
+TEST(NdcgTest, PerfectRankingIsOne) {
+  std::vector<double> scores = {0.9, 0.5, 0.1};
+  std::vector<double> relevance = {3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(Ndcg(scores, relevance), 1.0);
+}
+
+TEST(NdcgTest, ReversedRankingIsBelowOne) {
+  std::vector<double> scores = {0.1, 0.5, 0.9};
+  std::vector<double> relevance = {3.0, 2.0, 1.0};
+  double v = Ndcg(scores, relevance);
+  EXPECT_LT(v, 1.0);
+  EXPECT_GT(v, 0.0);
+}
+
+TEST(NdcgTest, KnownHandComputedValue) {
+  // Predicted order: item1 (rel 1), item0 (rel 2).
+  // DCG = 1/log2(2) + 2/log2(3); IDCG = 2/log2(2) + 1/log2(3).
+  std::vector<double> scores = {0.1, 0.9};
+  std::vector<double> relevance = {2.0, 1.0};
+  double dcg = 1.0 / std::log2(2.0) + 2.0 / std::log2(3.0);
+  double idcg = 2.0 / std::log2(2.0) + 1.0 / std::log2(3.0);
+  EXPECT_NEAR(Ndcg(scores, relevance), dcg / idcg, 1e-12);
+}
+
+TEST(NdcgTest, AllEqualRelevanceIsOne) {
+  std::vector<double> scores = {0.3, 0.9, 0.1};
+  std::vector<double> relevance = {1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(Ndcg(scores, relevance), 1.0);
+}
+
+TEST(NdcgTest, AllZeroRelevanceIsOne) {
+  std::vector<double> scores = {0.3, 0.9};
+  std::vector<double> relevance = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(Ndcg(scores, relevance), 1.0);
+}
+
+TEST(NdcgTest, NegativeRelevanceShiftPreservesOrder) {
+  std::vector<double> scores = {0.9, 0.1};
+  std::vector<double> good = {0.8, 0.2};
+  std::vector<double> shifted = {-0.1, -0.7};  // Same ordering.
+  EXPECT_DOUBLE_EQ(Ndcg(scores, good), 1.0);
+  EXPECT_DOUBLE_EQ(Ndcg(scores, shifted), 1.0);
+}
+
+TEST(NdcgTest, AtKLimitsEvaluation) {
+  // Top-1 correct but rest scrambled: nDCG@1 = 1.
+  std::vector<double> scores = {0.9, 0.1, 0.5};
+  std::vector<double> relevance = {3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(Ndcg(scores, relevance, 1), 1.0);
+  EXPECT_LT(Ndcg(scores, relevance), 1.0);
+}
+
+TEST(NdcgTest, EmptyInputIsZero) {
+  EXPECT_DOUBLE_EQ(Ndcg({}, {}), 0.0);
+}
+
+TEST(NdcgTest, BetterRankingScoresHigher) {
+  std::vector<double> relevance = {5.0, 4.0, 3.0, 2.0, 1.0};
+  std::vector<double> good_scores = {0.9, 0.8, 0.5, 0.6, 0.1};   // 1 swap
+  std::vector<double> bad_scores = {0.1, 0.2, 0.3, 0.4, 0.5};    // reversed
+  EXPECT_GT(Ndcg(good_scores, relevance), Ndcg(bad_scores, relevance));
+}
+
+}  // namespace
+}  // namespace bhpo

@@ -1,0 +1,51 @@
+#include "metrics/regression.h"
+
+#include <gtest/gtest.h>
+
+namespace bhpo {
+namespace {
+
+TEST(MseTest, KnownValue) {
+  EXPECT_DOUBLE_EQ(MeanSquaredError({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(MeanSquaredError({0, 0}, {1, 3}), 5.0);
+}
+
+TEST(MaeTest, KnownValue) {
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({0, 0}, {1, -3}), 2.0);
+}
+
+TEST(R2Test, PerfectPredictionIsOne) {
+  EXPECT_DOUBLE_EQ(R2Score({1, 2, 3, 4}, {1, 2, 3, 4}), 1.0);
+}
+
+TEST(R2Test, MeanPredictorIsZero) {
+  std::vector<double> actual = {1, 2, 3, 4};
+  std::vector<double> mean_pred(4, 2.5);
+  EXPECT_NEAR(R2Score(actual, mean_pred), 0.0, 1e-12);
+}
+
+TEST(R2Test, WorseThanMeanIsNegative) {
+  std::vector<double> actual = {1, 2, 3, 4};
+  std::vector<double> bad = {4, 3, 2, 1};
+  EXPECT_LT(R2Score(actual, bad), 0.0);
+}
+
+TEST(R2Test, ConstantActualGivesZero) {
+  EXPECT_DOUBLE_EQ(R2Score({5, 5, 5}, {5, 5, 5}), 0.0);
+}
+
+TEST(R2Test, KnownIntermediateValue) {
+  // ss_res = 0.25 * 4 = 1, ss_tot = 5 -> R2 = 0.8.
+  std::vector<double> actual = {1, 2, 3, 4};
+  std::vector<double> pred = {1.5, 2.5, 3.5, 4.5};
+  EXPECT_NEAR(R2Score(actual, pred), 1.0 - 1.0 / 5.0, 1e-12);
+}
+
+TEST(RegressionMetricsTest, EmptyInputsAreZero) {
+  EXPECT_DOUBLE_EQ(MeanSquaredError({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(R2Score({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace bhpo

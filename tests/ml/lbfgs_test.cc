@@ -1,0 +1,107 @@
+#include "ml/lbfgs.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace bhpo {
+namespace {
+
+// f(x) = sum (x_i - i)^2.
+double ShiftedQuadratic(const std::vector<double>& x,
+                        std::vector<double>* grad) {
+  grad->resize(x.size());
+  double f = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double d = x[i] - static_cast<double>(i);
+    f += d * d;
+    (*grad)[i] = 2.0 * d;
+  }
+  return f;
+}
+
+double Rosenbrock(const std::vector<double>& x, std::vector<double>* grad) {
+  double a = x[0], b = x[1];
+  grad->resize(2);
+  double f = (1 - a) * (1 - a) + 100.0 * (b - a * a) * (b - a * a);
+  (*grad)[0] = -2.0 * (1 - a) - 400.0 * a * (b - a * a);
+  (*grad)[1] = 200.0 * (b - a * a);
+  return f;
+}
+
+TEST(LbfgsTest, SolvesQuadraticExactly) {
+  std::vector<double> x(5, 10.0);
+  LbfgsSummary s = MinimizeLbfgs(ShiftedQuadratic, &x).value();
+  EXPECT_TRUE(s.converged);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i], static_cast<double>(i), 1e-4);
+  }
+  EXPECT_NEAR(s.final_objective, 0.0, 1e-7);
+}
+
+TEST(LbfgsTest, SolvesRosenbrock) {
+  std::vector<double> x = {-1.2, 1.0};
+  LbfgsOptions opts;
+  opts.max_iterations = 500;
+  LbfgsSummary s = MinimizeLbfgs(Rosenbrock, &x, opts).value();
+  EXPECT_NEAR(x[0], 1.0, 1e-3);
+  EXPECT_NEAR(x[1], 1.0, 1e-3);
+  EXPECT_LT(s.final_objective, 1e-5);
+}
+
+TEST(LbfgsTest, StartingAtOptimumConvergesImmediately) {
+  std::vector<double> x = {0.0, 1.0, 2.0};
+  LbfgsSummary s = MinimizeLbfgs(ShiftedQuadratic, &x).value();
+  EXPECT_TRUE(s.converged);
+  EXPECT_LE(s.iterations, 1);
+}
+
+TEST(LbfgsTest, ReportsFunctionEvaluations) {
+  std::vector<double> x(3, 5.0);
+  LbfgsSummary s = MinimizeLbfgs(ShiftedQuadratic, &x).value();
+  EXPECT_GT(s.function_evaluations, 1);
+}
+
+TEST(LbfgsTest, RespectsIterationCap) {
+  std::vector<double> x = {-1.2, 1.0};
+  LbfgsOptions opts;
+  opts.max_iterations = 3;
+  LbfgsSummary s = MinimizeLbfgs(Rosenbrock, &x, opts).value();
+  EXPECT_LE(s.iterations, 3);
+}
+
+TEST(LbfgsTest, SmallMemoryStillConverges) {
+  std::vector<double> x(8, 3.0);
+  LbfgsOptions opts;
+  opts.memory = 2;
+  LbfgsSummary s = MinimizeLbfgs(ShiftedQuadratic, &x, opts).value();
+  EXPECT_TRUE(s.converged);
+}
+
+TEST(LbfgsTest, RejectsInvalidArguments) {
+  std::vector<double> x = {1.0};
+  EXPECT_FALSE(MinimizeLbfgs(nullptr, &x).ok());
+  EXPECT_FALSE(MinimizeLbfgs(ShiftedQuadratic, nullptr).ok());
+  std::vector<double> empty;
+  EXPECT_FALSE(MinimizeLbfgs(ShiftedQuadratic, &empty).ok());
+  LbfgsOptions opts;
+  opts.max_iterations = 0;
+  EXPECT_FALSE(MinimizeLbfgs(ShiftedQuadratic, &x, opts).ok());
+}
+
+TEST(LbfgsTest, NonConvexMultiModalFindsSomeLocalMinimum) {
+  // f(x) = x^4 - 3x^2 + x has two local minima; lbfgs must land in one
+  // (gradient ~ 0), not diverge.
+  auto f = [](const std::vector<double>& x, std::vector<double>* grad) {
+    grad->resize(1);
+    double v = x[0];
+    (*grad)[0] = 4 * v * v * v - 6 * v + 1;
+    return v * v * v * v - 3 * v * v + v;
+  };
+  std::vector<double> x = {2.0};
+  LbfgsSummary s = MinimizeLbfgs(f, &x).value();
+  EXPECT_LT(s.final_gradient_norm, 1e-3);
+}
+
+}  // namespace
+}  // namespace bhpo

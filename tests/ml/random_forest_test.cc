@@ -1,0 +1,130 @@
+#include "ml/random_forest.h"
+
+#include <gtest/gtest.h>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "metrics/classification.h"
+#include "metrics/regression.h"
+
+namespace bhpo {
+namespace {
+
+Dataset NoisyBlobs(uint64_t seed = 1) {
+  BlobsSpec spec;
+  spec.n = 300;
+  spec.num_features = 6;
+  spec.num_classes = 2;
+  spec.clusters_per_class = 2;
+  spec.cluster_spread = 1.2;
+  spec.center_spread = 3.0;
+  spec.label_noise = 0.05;
+  spec.seed = seed;
+  return MakeBlobs(spec).value();
+}
+
+TEST(RandomForestConfigTest, Validation) {
+  RandomForestConfig c;
+  c.num_trees = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = RandomForestConfig();
+  c.tree.min_samples_leaf = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  EXPECT_TRUE(RandomForestConfig().Validate().ok());
+}
+
+TEST(RandomForestTest, ClassifiesHeldOutData) {
+  Dataset data = NoisyBlobs(2);
+  Rng rng(3);
+  TrainTestSplit split = SplitTrainTest(data, 0.25, &rng).value();
+  RandomForestConfig config;
+  config.num_trees = 25;
+  config.seed = 4;
+  RandomForest forest(config);
+  ASSERT_TRUE(forest.Fit(split.train).ok());
+  double acc = Accuracy(split.test.labels(),
+                        forest.PredictLabels(split.test.features()));
+  EXPECT_GT(acc, 0.8);
+}
+
+TEST(RandomForestTest, GeneralizesBetterThanOneDeepTreeOnNoisyData) {
+  Dataset data = NoisyBlobs(5);
+  Rng rng(6);
+  TrainTestSplit split = SplitTrainTest(data, 0.3, &rng).value();
+
+  DecisionTree single;
+  ASSERT_TRUE(single.Fit(split.train).ok());
+  double single_acc = Accuracy(split.test.labels(),
+                               single.PredictLabels(split.test.features()));
+
+  RandomForestConfig config;
+  config.num_trees = 40;
+  config.seed = 7;
+  RandomForest forest(config);
+  ASSERT_TRUE(forest.Fit(split.train).ok());
+  double forest_acc = Accuracy(split.test.labels(),
+                               forest.PredictLabels(split.test.features()));
+  EXPECT_GE(forest_acc + 1e-9, single_acc);
+}
+
+TEST(RandomForestTest, ProbabilitiesAreValidDistributions) {
+  Dataset data = NoisyBlobs(8);
+  RandomForestConfig config;
+  config.num_trees = 10;
+  config.seed = 9;
+  RandomForest forest(config);
+  ASSERT_TRUE(forest.Fit(data).ok());
+  Matrix proba = forest.PredictProba(data.features());
+  for (size_t r = 0; r < proba.rows(); ++r) {
+    double total = 0.0;
+    for (size_t c = 0; c < proba.cols(); ++c) {
+      EXPECT_GE(proba(r, c), 0.0);
+      total += proba(r, c);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(RandomForestTest, RegressionBeatsMeanPredictor) {
+  RegressionSpec spec;
+  spec.n = 300;
+  spec.num_features = 6;
+  spec.noise = 0.5;
+  spec.seed = 10;
+  Dataset data = MakeRegression(spec).value();
+  Rng rng(11);
+  TrainTestSplit split = SplitTrainTest(data, 0.25, &rng).value();
+  RandomForestConfig config;
+  config.num_trees = 30;
+  config.seed = 12;
+  RandomForest forest(config);
+  ASSERT_TRUE(forest.Fit(split.train).ok());
+  double r2 = R2Score(split.test.targets(),
+                      forest.PredictValues(split.test.features()));
+  EXPECT_GT(r2, 0.5);
+}
+
+TEST(RandomForestTest, DeterministicForFixedSeed) {
+  Dataset data = NoisyBlobs(13);
+  RandomForestConfig config;
+  config.num_trees = 8;
+  config.seed = 14;
+  RandomForest a(config), b(config);
+  ASSERT_TRUE(a.Fit(data).ok());
+  ASSERT_TRUE(b.Fit(data).ok());
+  EXPECT_EQ(a.PredictLabels(data.features()), b.PredictLabels(data.features()));
+}
+
+TEST(RandomForestTest, NoBootstrapStillWorks) {
+  Dataset data = NoisyBlobs(15);
+  RandomForestConfig config;
+  config.num_trees = 5;
+  config.bootstrap = false;
+  config.seed = 16;
+  RandomForest forest(config);
+  ASSERT_TRUE(forest.Fit(data).ok());
+  EXPECT_EQ(forest.num_trees(), 5u);
+}
+
+}  // namespace
+}  // namespace bhpo

@@ -1,0 +1,69 @@
+#include "ml/schedules.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace bhpo {
+namespace {
+
+TEST(ScheduleStringTest, RoundTrip) {
+  for (const char* name : {"constant", "invscaling", "adaptive"}) {
+    LearningRateSchedule s = ScheduleFromString(name).value();
+    EXPECT_STREQ(ScheduleToString(s), name);
+  }
+  EXPECT_FALSE(ScheduleFromString("cosine").ok());
+}
+
+TEST(LearningRateTest, ConstantStaysConstant) {
+  LearningRate lr(LearningRateSchedule::kConstant, 0.1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(lr.NextUpdateRate(), 0.1);
+  }
+}
+
+TEST(LearningRateTest, InvScalingDecaysAsPower) {
+  LearningRate lr(LearningRateSchedule::kInvScaling, 0.1, 0.5);
+  EXPECT_DOUBLE_EQ(lr.NextUpdateRate(), 0.1);                     // t = 1
+  EXPECT_NEAR(lr.NextUpdateRate(), 0.1 / std::sqrt(2.0), 1e-12);  // t = 2
+  EXPECT_NEAR(lr.NextUpdateRate(), 0.1 / std::sqrt(3.0), 1e-12);  // t = 3
+}
+
+TEST(LearningRateTest, AdaptiveDividesByFiveAfterTwoStalls) {
+  LearningRate lr(LearningRateSchedule::kAdaptive, 1.0);
+  EXPECT_TRUE(lr.ReportEpochLoss(1.0, 1e-4));  // First loss: improvement.
+  EXPECT_TRUE(lr.ReportEpochLoss(1.0, 1e-4));  // Stall 1.
+  EXPECT_TRUE(lr.ReportEpochLoss(1.0, 1e-4));  // Stall 2 -> divide.
+  EXPECT_DOUBLE_EQ(lr.current(), 0.2);
+}
+
+TEST(LearningRateTest, AdaptiveImprovementResetsStall) {
+  LearningRate lr(LearningRateSchedule::kAdaptive, 1.0);
+  EXPECT_TRUE(lr.ReportEpochLoss(1.0, 1e-4));
+  EXPECT_TRUE(lr.ReportEpochLoss(1.0, 1e-4));   // Stall 1.
+  EXPECT_TRUE(lr.ReportEpochLoss(0.5, 1e-4));   // Improves: reset.
+  EXPECT_TRUE(lr.ReportEpochLoss(0.5, 1e-4));   // Stall 1 again.
+  EXPECT_DOUBLE_EQ(lr.current(), 1.0);          // No division yet.
+}
+
+TEST(LearningRateTest, AdaptiveStopsWhenRateUnderflows) {
+  LearningRate lr(LearningRateSchedule::kAdaptive, 1e-5);
+  EXPECT_TRUE(lr.ReportEpochLoss(1.0, 1e-4));
+  EXPECT_TRUE(lr.ReportEpochLoss(1.0, 1e-4));
+  // Second stall divides to 2e-6... still above 1e-6.
+  EXPECT_TRUE(lr.ReportEpochLoss(1.0, 1e-4));
+  EXPECT_TRUE(lr.ReportEpochLoss(1.0, 1e-4));
+  // Next division -> 4e-7 < 1e-6: training should stop.
+  EXPECT_FALSE(lr.ReportEpochLoss(1.0, 1e-4));
+}
+
+TEST(LearningRateTest, NonAdaptiveIgnoresEpochLoss) {
+  LearningRate lr(LearningRateSchedule::kConstant, 0.1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(lr.ReportEpochLoss(1.0, 1e-4));
+  }
+  EXPECT_DOUBLE_EQ(lr.current(), 0.1);
+}
+
+}  // namespace
+}  // namespace bhpo

@@ -1,0 +1,264 @@
+// bhpo — command-line hyperparameter optimization over a CSV/LibSVM file
+// (or a built-in synthetic stand-in), using any of the library's bandit
+// methods in vanilla or enhanced ("+") form.
+//
+// Examples:
+//   bhpo --synthetic australian --method sha+
+//   bhpo --data train.csv --task classification --method bohb+ --seeds 3
+//   bhpo --data data.svm --format libsvm --method hb --metric f1
+//
+// Run with --help for the full flag list.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/flags.h"
+#include "common/stopwatch.h"
+#include "data/csv_io.h"
+#include "data/libsvm_io.h"
+#include "data/paper_datasets.h"
+#include "hpo/asha.h"
+#include "hpo/bohb.h"
+#include "hpo/dehb.h"
+#include "hpo/hyperband.h"
+#include "hpo/pasha.h"
+#include "hpo/random_search.h"
+#include "hpo/sha.h"
+#include "ml/serialization.h"
+
+namespace bhpo {
+namespace {
+
+constexpr char kUsage[] = R"(bhpo — bandit-based hyperparameter optimization
+
+data source (exactly one):
+  --data PATH            CSV or LibSVM file
+  --synthetic NAME       built-in stand-in (australian, splice, gisette,
+                         machine, NTICUSdroid, a9a, fraud, credit2023,
+                         satimage, usps, molecules, kc-house)
+
+data options:
+  --format csv|libsvm    input format           (default: by extension)
+  --task classification|regression              (default: classification)
+  --test-fraction F      holdout fraction       (default: 0.2)
+  --scale F              synthetic scale factor (default: 0.25)
+
+output options:
+  --save-model PATH      persist the final trained model (reload with
+                         LoadModelFromFile)
+
+search options:
+  --method M             random | sha | sha+ | hb | hb+ | bohb | bohb+ |
+                         asha | asha+ | pasha | pasha+ | dehb | dehb+
+                                                (default: sha+)
+  --hps K                first K Table-III hyperparameters (default: 4)
+  --metric auto|accuracy|f1|r2                  (default: auto)
+  --max-iter N           epochs per model fit   (default: 40)
+  --seed N               master seed            (default: 42)
+  --threads N            rung parallelism       (default: 1)
+
+enhanced-method options (the trailing '+' variants):
+  --groups V             number of groups       (default: 2)
+  --alpha A              variance weight        (default: 0.1)
+  --beta-max B           max size weight        (default: 10)
+  --k-gen N / --k-spe N  fold split             (default: 3 / 2)
+)";
+
+Status RunCli(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  if (flags.Has("help")) {
+    std::printf("%s", kUsage);
+    return Status::OK();
+  }
+
+  // ---- data ----
+  std::string data_path = flags.GetString("data", "");
+  std::string synthetic = flags.GetString("synthetic", "");
+  if ((data_path.empty()) == (synthetic.empty())) {
+    return Status::InvalidArgument(
+        "provide exactly one of --data or --synthetic (see --help)");
+  }
+  BHPO_ASSIGN_OR_RETURN(double test_fraction,
+                        flags.GetDouble("test-fraction", 0.2));
+  BHPO_ASSIGN_OR_RETURN(double scale, flags.GetDouble("scale", 0.25));
+  BHPO_ASSIGN_OR_RETURN(int seed, flags.GetInt("seed", 42));
+
+  TrainTestSplit data;
+  if (!synthetic.empty()) {
+    BHPO_ASSIGN_OR_RETURN(data, MakePaperDataset(synthetic,
+                                                 static_cast<uint64_t>(seed),
+                                                 scale));
+  } else {
+    std::string task_name = flags.GetString("task", "classification");
+    Task task;
+    if (task_name == "classification") {
+      task = Task::kClassification;
+    } else if (task_name == "regression") {
+      task = Task::kRegression;
+    } else {
+      return Status::InvalidArgument("unknown --task '" + task_name + "'");
+    }
+    std::string format = flags.GetString("format", "");
+    if (format.empty()) {
+      format = data_path.size() > 4 &&
+                       data_path.substr(data_path.size() - 4) == ".csv"
+                   ? "csv"
+                   : "libsvm";
+    }
+    Dataset full;
+    if (format == "csv") {
+      CsvOptions options;
+      options.task = task;
+      BHPO_ASSIGN_OR_RETURN(full, LoadCsv(data_path, options));
+    } else if (format == "libsvm") {
+      LibsvmOptions options;
+      options.task = task;
+      BHPO_ASSIGN_OR_RETURN(full, LoadLibsvm(data_path, options));
+    } else {
+      return Status::InvalidArgument("unknown --format '" + format + "'");
+    }
+    full = full.Standardized();
+    Rng split_rng(static_cast<uint64_t>(seed));
+    BHPO_ASSIGN_OR_RETURN(
+        data, SplitTrainTest(full, test_fraction, &split_rng,
+                             task == Task::kClassification));
+  }
+  std::printf("train: %s\n", data.train.Summary().c_str());
+  std::printf("test:  %s\n", data.test.Summary().c_str());
+
+  // ---- search setup ----
+  std::string method = flags.GetString("method", "sha+");
+  bool enhanced = !method.empty() && method.back() == '+';
+  std::string base = enhanced ? method.substr(0, method.size() - 1) : method;
+
+  BHPO_ASSIGN_OR_RETURN(int hps, flags.GetInt("hps", 4));
+  if (hps < 1 || hps > 8) {
+    return Status::InvalidArgument("--hps must be in [1, 8]");
+  }
+  ConfigSpace space = ConfigSpace::PaperSpace(hps);
+
+  std::string save_path = flags.GetString("save-model", "");
+  std::string metric_name = flags.GetString("metric", "auto");
+  EvalMetric metric;
+  if (metric_name == "auto") {
+    metric = EvalMetric::kAuto;
+  } else if (metric_name == "accuracy") {
+    metric = EvalMetric::kAccuracy;
+  } else if (metric_name == "f1") {
+    metric = EvalMetric::kF1;
+  } else if (metric_name == "r2") {
+    metric = EvalMetric::kR2;
+  } else {
+    return Status::InvalidArgument("unknown --metric '" + metric_name + "'");
+  }
+
+  StrategyOptions options;
+  options.metric = metric;
+  BHPO_ASSIGN_OR_RETURN(options.factory.max_iter,
+                        flags.GetInt("max-iter", 40));
+  options.factory.seed = static_cast<uint64_t>(seed) + 1;
+
+  BHPO_ASSIGN_OR_RETURN(int threads, flags.GetInt("threads", 1));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+  std::unique_ptr<EvalStrategy> strategy;
+  if (enhanced) {
+    GroupingOptions grouping;
+    BHPO_ASSIGN_OR_RETURN(grouping.num_groups, flags.GetInt("groups", 2));
+    grouping.seed = static_cast<uint64_t>(seed) + 2;
+    GenFoldsOptions folds;
+    BHPO_ASSIGN_OR_RETURN(int k_gen, flags.GetInt("k-gen", 3));
+    BHPO_ASSIGN_OR_RETURN(int k_spe, flags.GetInt("k-spe", 2));
+    folds.k_gen = static_cast<size_t>(k_gen);
+    folds.k_spe = static_cast<size_t>(k_spe);
+    options.num_folds = folds.k_gen + folds.k_spe;
+    ScoringOptions scoring;
+    scoring.use_variance = true;
+    BHPO_ASSIGN_OR_RETURN(scoring.alpha, flags.GetDouble("alpha", 0.1));
+    BHPO_ASSIGN_OR_RETURN(scoring.beta_max,
+                          flags.GetDouble("beta-max", 10.0));
+    BHPO_ASSIGN_OR_RETURN(
+        strategy,
+        EnhancedStrategy::Create(data.train, grouping, folds, scoring,
+                                 options));
+  } else {
+    strategy = std::make_unique<VanillaStrategy>(options);
+  }
+  BHPO_RETURN_NOT_OK(flags.CheckUnrecognized());
+
+  std::unique_ptr<HpoOptimizer> optimizer;
+  RandomConfigSampler hb_sampler(&space);
+  ShaOptions sha_options;
+  sha_options.pool = pool.get();
+  HyperbandOptions hb_options;
+  hb_options.pool = pool.get();
+  if (base == "random") {
+    optimizer = std::make_unique<RandomSearch>(&space, strategy.get(), 10);
+  } else if (base == "sha") {
+    optimizer = std::make_unique<SuccessiveHalving>(space.EnumerateGrid(),
+                                                    strategy.get(),
+                                                    sha_options);
+  } else if (base == "hb") {
+    optimizer = std::make_unique<Hyperband>(&hb_sampler, strategy.get(),
+                                            hb_options);
+  } else if (base == "bohb") {
+    optimizer = std::make_unique<Bohb>(&space, strategy.get(), hb_options);
+  } else if (base == "dehb") {
+    optimizer = std::make_unique<Dehb>(&space, strategy.get(), hb_options);
+  } else if (base == "asha") {
+    optimizer = std::make_unique<Asha>(&space, strategy.get());
+  } else if (base == "pasha") {
+    optimizer = std::make_unique<Pasha>(&space, strategy.get());
+  } else {
+    return Status::InvalidArgument("unknown --method '" + method + "'");
+  }
+
+  // ---- run ----
+  std::printf("method: %s over %zu configurations (%d hyperparameters)\n",
+              method.c_str(), space.GridSize(), hps);
+  Stopwatch watch;
+  Rng rng(static_cast<uint64_t>(seed) + 3);
+  BHPO_ASSIGN_OR_RETURN(HpoResult result,
+                        optimizer->Optimize(data.train, &rng));
+  double search_seconds = watch.ElapsedSeconds();
+
+  BHPO_ASSIGN_OR_RETURN(
+      FinalEvaluation final,
+      EvaluateFinalConfig(result.best_config, data.train, data.test, metric,
+                          options.factory));
+
+  std::printf("\nbest configuration: %s\n",
+              result.best_config.ToString().c_str());
+  std::printf("cv score: %.4f  evaluations: %zu  instance budget: %zu\n",
+              result.best_score, result.num_evaluations,
+              result.total_instances);
+  std::printf("final model: train %.4f, test %.4f (%s)\n",
+              final.train_metric, final.test_metric,
+              EvalMetricToString(metric));
+  std::printf("search time: %.1fs\n", search_seconds);
+
+  if (!save_path.empty()) {
+    BHPO_ASSIGN_OR_RETURN(ModelFactory final_factory,
+                          MakeModelFactory(result.best_config,
+                                           options.factory));
+    std::unique_ptr<Model> final_model = final_factory();
+    BHPO_RETURN_NOT_OK(final_model->Fit(data.train));
+    BHPO_RETURN_NOT_OK(SaveModelToFile(*final_model, save_path));
+    std::printf("saved final model to %s\n", save_path.c_str());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace bhpo
+
+int main(int argc, char** argv) {
+  bhpo::Status status = bhpo::RunCli(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
