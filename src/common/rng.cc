@@ -35,4 +35,13 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
   return indices;
 }
 
+uint64_t MixSeed(uint64_t seed, uint64_t stream) {
+  // SplitMix64 finalizer over seed advanced by (stream + 1) golden-gamma
+  // steps; +1 keeps MixSeed(s, 0) != a plain finalize of s.
+  uint64_t z = seed + (stream + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace bhpo

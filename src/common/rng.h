@@ -72,6 +72,12 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+// Derives an independent, deterministic seed for stream `stream` from a base
+// seed (SplitMix64 finalizer). Used to give each cross-validation fold its
+// own model seed without threading an Rng through parallel fold evaluation:
+// the result depends only on (seed, stream), never on execution order.
+uint64_t MixSeed(uint64_t seed, uint64_t stream);
+
 }  // namespace bhpo
 
 #endif  // BHPO_COMMON_RNG_H_

@@ -30,7 +30,7 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
     BHPO_CHECK(!shutting_down_) << "Submit after shutdown";
-    tasks_.push(std::move(task));
+    tasks_.push(Task{std::move(task), nullptr});
     ++in_flight_;
   }
   task_available_.notify_one();
@@ -41,38 +41,62 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+void ThreadPool::RunOneTaskLocked(std::unique_lock<std::mutex>* lock) {
+  Task task = std::move(tasks_.front());
+  tasks_.pop();
+  lock->unlock();
+  task.fn();
+  lock->lock();
+  --in_flight_;
+  if (in_flight_ == 0) all_done_.notify_all();
+  if (task.batch != nullptr && --task.batch->pending == 0) {
+    // The batch owner waits under mutex_, so notifying while holding the
+    // lock is safe: it cannot destroy the Batch until we release it.
+    task.batch->done.notify_all();
+  }
+}
+
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   if (workers_.size() == 1 || n == 1) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  for (size_t i = 0; i < n; ++i) {
-    Submit([&fn, i] { fn(i); });
+
+  Batch batch;
+  batch.pending = n;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    BHPO_CHECK(!shutting_down_) << "ParallelFor after shutdown";
+    for (size_t i = 0; i < n; ++i) {
+      tasks_.push(Task{[&fn, i] { fn(i); }, &batch});
+      ++in_flight_;
+    }
   }
-  Wait();
+  task_available_.notify_all();
+
+  // Help drain the queue instead of blocking on our batch: a pool worker
+  // that issues a nested ParallelFor keeps executing tasks (its own or
+  // anyone else's), so the pool always makes progress. We only sleep once
+  // the queue is empty, at which point every remaining task of our batch is
+  // running on some other thread and will signal `done`.
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (batch.pending > 0) {
+    if (!tasks_.empty()) {
+      RunOneTaskLocked(&lock);
+    } else {
+      batch.done.wait(lock, [&batch] { return batch.pending == 0; });
+    }
+  }
 }
 
 void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_available_.wait(
-          lock, [this] { return shutting_down_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
-        if (shutting_down_) return;
-        continue;
-      }
-      task = std::move(tasks_.front());
-      tasks_.pop();
-    }
-    task();
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
-    }
+    task_available_.wait(
+        lock, [this] { return shutting_down_ || !tasks_.empty(); });
+    if (tasks_.empty()) return;  // Shutting down and fully drained.
+    RunOneTaskLocked(&lock);
   }
 }
 

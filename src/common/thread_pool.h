@@ -13,8 +13,12 @@ namespace bhpo {
 
 // Fixed-size worker pool for evaluating independent hyperparameter
 // configurations (or cross-validation folds) in parallel. HPO evaluation is
-// embarrassingly parallel within a rung, which is exactly what this covers;
-// work stealing and priorities are intentionally out of scope.
+// embarrassingly parallel within a rung, and each evaluation is again
+// parallel across its CV folds, so ParallelFor supports *nested* use: a
+// worker that issues a ParallelFor helps drain the task queue instead of
+// blocking, which keeps two-level parallelism (configs x folds) deadlock
+// free on a single shared pool. Work stealing and priorities are
+// intentionally out of scope.
 class ThreadPool {
  public:
   // num_threads == 0 means hardware_concurrency (at least 1).
@@ -34,15 +38,32 @@ class ThreadPool {
   void Wait();
 
   // Runs fn(i) for i in [0, n), partitioned across the pool, and blocks
-  // until all iterations complete. Falls back to a serial loop when the pool
-  // has a single worker to avoid pointless queueing overhead.
+  // until all iterations complete. Safe to call from inside a pool worker:
+  // the caller executes queued tasks itself while its batch is pending, so
+  // nested invocations make progress instead of deadlocking. Falls back to
+  // a serial loop when the pool has a single worker to avoid pointless
+  // queueing overhead.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:
+  // Completion tracker for one ParallelFor call; lives on the caller's
+  // stack for the duration of the call.
+  struct Batch {
+    size_t pending = 0;
+    std::condition_variable done;
+  };
+  struct Task {
+    std::function<void()> fn;
+    Batch* batch = nullptr;  // null for plain Submit() tasks
+  };
+
   void WorkerLoop();
+  // Pops and runs the front task. Called (and returns) with *lock held;
+  // the lock is released while the task body runs.
+  void RunOneTaskLocked(std::unique_lock<std::mutex>* lock);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Task> tasks_;
   std::mutex mutex_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;

@@ -1,6 +1,8 @@
 #include "cv/cross_validate.h"
 
 #include <cmath>
+#include <limits>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -22,44 +24,118 @@ void MeanStddev(const std::vector<double>& values, double* mean,
   *stddev = std::sqrt(var / static_cast<double>(values.size()));
 }
 
-Result<CvOutcome> CrossValidate(const Dataset& data, const FoldSet& folds,
-                                const ModelFactory& factory,
-                                EvalMetric metric) {
+Result<CvOutcome> CrossValidate(const DatasetView& data, const FoldSet& folds,
+                                const FoldModelFactory& factory,
+                                const CvOptions& options) {
   if (!factory) return Status::InvalidArgument("null model factory");
   if (folds.num_folds() < 2) {
     return Status::InvalidArgument("cross-validation needs >= 2 folds");
   }
+  if (!data.valid()) return Status::InvalidArgument("empty dataset view");
   BHPO_RETURN_NOT_OK(folds.Validate(data.n()));
 
-  double worst_score = data.is_classification() ? 0.0 : -1.0;
-  CvOutcome outcome;
-  outcome.subset_size = folds.TotalSize();
+  size_t k = folds.num_folds();
+  enum class FoldState { kSkipped, kScored, kFailed };
 
-  for (size_t f = 0; f < folds.num_folds(); ++f) {
-    if (folds.folds[f].empty()) continue;
-    std::vector<size_t> train_idx = folds.ComplementOf(f);
-    if (train_idx.empty()) continue;
+  // Every fold writes only its own preallocated slot; the reduction below
+  // walks slots in fold order, so the outcome is bit-identical whether the
+  // folds ran serially or on a pool of any size.
+  std::vector<FoldState> states(k, FoldState::kSkipped);
+  std::vector<double> scores(k, 0.0);
+  std::vector<Status> fit_errors(k);
 
-    Dataset train = data.Subset(train_idx);
-    Dataset val = data.Subset(folds.folds[f]);
+  // Fold-of-row table (folds are validated disjoint above): one linear scan
+  // per fold then yields the train/val index lists in ascending order, so
+  // every pass a model makes over its view is a near-sequential walk of the
+  // parent matrix instead of a random one — without paying for a sort.
+  std::vector<int> fold_of(data.n(), -1);
+  for (size_t g = 0; g < k; ++g) {
+    for (size_t idx : folds.folds[g]) fold_of[idx] = static_cast<int>(g);
+  }
 
-    std::unique_ptr<Model> model = factory();
+  auto run_fold = [&](size_t f) {
+    if (folds.folds[f].empty()) return;
+    std::vector<size_t> train_idx;
+    train_idx.reserve(folds.TotalSize() - folds.folds[f].size());
+    std::vector<size_t> val_idx;
+    val_idx.reserve(folds.folds[f].size());
+    for (size_t idx = 0; idx < fold_of.size(); ++idx) {
+      int g = fold_of[idx];
+      if (g < 0) continue;  // Row outside the sampled subset: not in CV.
+      if (static_cast<size_t>(g) == f) {
+        val_idx.push_back(idx);
+      } else {
+        train_idx.push_back(idx);
+      }
+    }
+    if (train_idx.empty()) return;
+
+    // Views, not copies: the model reads fold rows straight from the
+    // parent feature matrix.
+    DatasetView train = data.ViewOf(std::move(train_idx));
+    DatasetView val = data.ViewOf(std::move(val_idx));
+
+    std::unique_ptr<Model> model = factory(f);
     BHPO_CHECK(model != nullptr);
     Status fit_status = model->Fit(train);
     if (!fit_status.ok()) {
-      BHPO_LOG(kInfo) << "fold " << f
-                      << " fit failed: " << fit_status.ToString();
-      outcome.fold_scores.push_back(worst_score);
-      continue;
+      states[f] = FoldState::kFailed;
+      fit_errors[f] = fit_status;
+      return;
     }
-    outcome.fold_scores.push_back(EvaluateModel(*model, val, metric));
+    scores[f] = EvaluateModel(*model, val, options.metric);
+    states[f] = FoldState::kScored;
+  };
+
+  if (options.pool != nullptr) {
+    options.pool->ParallelFor(k, run_fold);
+  } else {
+    for (size_t f = 0; f < k; ++f) run_fold(f);
   }
 
-  if (outcome.fold_scores.empty()) {
+  CvOutcome outcome;
+  outcome.subset_size = folds.TotalSize();
+  bool any_attempted = false;
+  for (size_t f = 0; f < k; ++f) {
+    switch (states[f]) {
+      case FoldState::kScored:
+        outcome.fold_scores.push_back(scores[f]);
+        any_attempted = true;
+        break;
+      case FoldState::kFailed:
+        BHPO_LOG(kInfo) << "fold " << f
+                        << " fit failed: " << fit_errors[f].ToString();
+        ++outcome.failed_folds;
+        any_attempted = true;
+        break;
+      case FoldState::kSkipped:
+        break;
+    }
+  }
+
+  if (!any_attempted) {
     return Status::FailedPrecondition("no usable folds (all empty)");
   }
-  MeanStddev(outcome.fold_scores, &outcome.mean, &outcome.stddev);
+  if (outcome.fold_scores.empty()) {
+    // Every fold failed to fit: worst possible mean, so this configuration
+    // loses any comparison but the search itself keeps going.
+    outcome.mean = -std::numeric_limits<double>::infinity();
+    outcome.stddev = 0.0;
+  } else {
+    MeanStddev(outcome.fold_scores, &outcome.mean, &outcome.stddev);
+  }
   return outcome;
+}
+
+Result<CvOutcome> CrossValidate(const Dataset& data, const FoldSet& folds,
+                                const ModelFactory& factory,
+                                EvalMetric metric) {
+  if (!factory) return Status::InvalidArgument("null model factory");
+  CvOptions options;
+  options.metric = metric;
+  return CrossValidate(
+      DatasetView(data), folds,
+      [&factory](size_t) { return factory(); }, options);
 }
 
 }  // namespace bhpo

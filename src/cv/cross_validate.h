@@ -6,8 +6,10 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "cv/folds.h"
 #include "data/dataset.h"
+#include "data/dataset_view.h"
 #include "ml/model.h"
 
 namespace bhpo {
@@ -15,21 +17,44 @@ namespace bhpo {
 // Per-configuration cross-validation outcome: the raw fold scores plus the
 // mean/stddev the scoring layer consumes (Figure 2(g)->(h)).
 struct CvOutcome {
+  // One entry per fold whose model fit succeeded, in fold order.
   std::vector<double> fold_scores;
   double mean = 0.0;
   double stddev = 0.0;  // population standard deviation
   size_t subset_size = 0;
+  // Folds whose training side failed to fit (e.g. diverged solver). These
+  // are excluded from the mean/stddev rather than polluting them with a
+  // fake sentinel score; if every fold fails the mean is -infinity so the
+  // configuration loses any comparison.
+  size_t failed_folds = 0;
 };
 
 // Creates a fresh untrained model for one CV round.
 using ModelFactory = std::function<std::unique_ptr<Model>()>;
+// Creates the model for fold f. Receiving the fold index lets callers give
+// every fold a deterministic seed (MixSeed) that is independent of the
+// order folds actually execute in — a requirement for reproducible results
+// under fold-parallel evaluation.
+using FoldModelFactory = std::function<std::unique_ptr<Model>(size_t fold)>;
+
+struct CvOptions {
+  EvalMetric metric = EvalMetric::kAuto;
+  // When non-null, folds are evaluated in parallel on this pool. Results
+  // are bit-identical to the serial order regardless of pool size.
+  ThreadPool* pool = nullptr;
+};
 
 // Runs k-fold CV over a fold partition of `data`: round f trains on the
-// complement of fold f and scores on fold f with `metric`. A fold whose
-// training side fails to fit (diverged solver) contributes the metric's
-// worst score (0 for classification metrics, -1 for R^2) rather than
-// aborting the search — a bandit must be able to discard broken
-// configurations gracefully.
+// complement of fold f and scores on fold f. Training and validation sides
+// are passed to the model as views, so no feature row is copied on this
+// path. A fold whose training side fails to fit is recorded in
+// `failed_folds` rather than aborting the search — a bandit must be able to
+// discard broken configurations gracefully.
+Result<CvOutcome> CrossValidate(const DatasetView& data, const FoldSet& folds,
+                                const FoldModelFactory& factory,
+                                const CvOptions& options = {});
+
+// Compatibility overload: dataset + fold-agnostic factory, serial.
 Result<CvOutcome> CrossValidate(const Dataset& data, const FoldSet& folds,
                                 const ModelFactory& factory,
                                 EvalMetric metric = EvalMetric::kAuto);

@@ -1,0 +1,86 @@
+#include "data/dataset_view.h"
+
+#include <cstring>
+
+namespace bhpo {
+
+DatasetView::DatasetView(const Dataset& parent, std::vector<size_t> indices)
+    : parent_(&parent), has_indices_(true), indices_(std::move(indices)) {
+  for (size_t idx : indices_) {
+    BHPO_CHECK_LT(idx, parent.n()) << "view index out of range";
+  }
+}
+
+DatasetView DatasetView::ViewOf(const std::vector<size_t>& indices) const {
+  BHPO_CHECK(parent_ != nullptr) << "ViewOf on an empty DatasetView";
+  if (!has_indices_) return DatasetView(*parent_, indices);
+  std::vector<size_t> mapped;
+  mapped.reserve(indices.size());
+  for (size_t i : indices) {
+    BHPO_CHECK_LT(i, indices_.size());
+    mapped.push_back(indices_[i]);
+  }
+  return DatasetView(*parent_, std::move(mapped));
+}
+
+DatasetView DatasetView::ViewOf(std::vector<size_t>&& indices) const {
+  BHPO_CHECK(parent_ != nullptr) << "ViewOf on an empty DatasetView";
+  if (!has_indices_) return DatasetView(*parent_, std::move(indices));
+  for (size_t& i : indices) {
+    BHPO_CHECK_LT(i, indices_.size());
+    i = indices_[i];
+  }
+  return DatasetView(*parent_, std::move(indices));
+}
+
+std::vector<size_t> DatasetView::ClassCounts() const {
+  BHPO_CHECK(is_classification());
+  if (!has_indices_) return parent().ClassCounts();
+  std::vector<size_t> counts(num_classes(), 0);
+  for (size_t idx : indices_) ++counts[parent().label(idx)];
+  return counts;
+}
+
+std::vector<std::vector<size_t>> DatasetView::IndicesByClass() const {
+  BHPO_CHECK(is_classification());
+  std::vector<std::vector<size_t>> by_class(num_classes());
+  size_t m = n();
+  for (size_t i = 0; i < m; ++i) by_class[label(i)].push_back(i);
+  return by_class;
+}
+
+Matrix DatasetView::GatherFeatures() const {
+  if (!has_indices_) return parent().features();
+  size_t d = num_features();
+  Matrix out(indices_.size(), d);
+  for (size_t i = 0; i < indices_.size(); ++i) {
+    std::memcpy(out.Row(i), parent().features().Row(indices_[i]),
+                d * sizeof(double));
+  }
+  return out;
+}
+
+std::vector<int> DatasetView::GatherLabels() const {
+  BHPO_CHECK(is_classification());
+  if (!has_indices_) return parent().labels();
+  std::vector<int> out;
+  out.reserve(indices_.size());
+  for (size_t idx : indices_) out.push_back(parent().label(idx));
+  return out;
+}
+
+std::vector<double> DatasetView::GatherTargets() const {
+  BHPO_CHECK(!is_classification());
+  if (!has_indices_) return parent().targets();
+  std::vector<double> out;
+  out.reserve(indices_.size());
+  for (size_t idx : indices_) out.push_back(parent().target(idx));
+  return out;
+}
+
+Dataset DatasetView::Materialize() const {
+  if (!has_indices_) return parent();
+  return parent().Subset(indices_);
+}
+
+}  // namespace bhpo

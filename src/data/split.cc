@@ -39,12 +39,14 @@ std::vector<size_t> SampleUniform(size_t n, size_t count, Rng* rng) {
   return rng->SampleWithoutReplacement(n, count);
 }
 
-std::vector<size_t> SampleStratified(const Dataset& dataset, size_t count,
-                                     Rng* rng) {
-  BHPO_CHECK(rng != nullptr);
-  BHPO_CHECK(dataset.is_classification());
-  count = std::min(count, dataset.n());
-  std::vector<std::vector<size_t>> by_class = dataset.IndicesByClass();
+namespace {
+
+// Shared body for the Dataset and DatasetView stratified samplers; `n` is
+// the number of rows and `by_class` holds (view-relative) indices per class.
+std::vector<size_t> SampleStratifiedImpl(
+    size_t n, const std::vector<std::vector<size_t>>& by_class, size_t count,
+    Rng* rng) {
+  count = std::min(count, n);
   std::vector<double> weights;
   weights.reserve(by_class.size());
   for (const auto& cls : by_class) {
@@ -62,10 +64,10 @@ std::vector<size_t> SampleStratified(const Dataset& dataset, size_t count,
   }
   // Quota may exceed a tiny class; backfill uniformly from the rest.
   if (out.size() < count) {
-    std::vector<char> taken(dataset.n(), 0);
+    std::vector<char> taken(n, 0);
     for (size_t i : out) taken[i] = 1;
     std::vector<size_t> remaining;
-    for (size_t i = 0; i < dataset.n(); ++i) {
+    for (size_t i = 0; i < n; ++i) {
       if (!taken[i]) remaining.push_back(i);
     }
     rng->Shuffle(&remaining);
@@ -77,35 +79,64 @@ std::vector<size_t> SampleStratified(const Dataset& dataset, size_t count,
   return out;
 }
 
-Result<TrainTestSplit> SplitTrainTest(const Dataset& dataset,
-                                      double test_fraction, Rng* rng,
-                                      bool stratified) {
+}  // namespace
+
+std::vector<size_t> SampleStratified(const Dataset& dataset, size_t count,
+                                     Rng* rng) {
+  BHPO_CHECK(rng != nullptr);
+  BHPO_CHECK(dataset.is_classification());
+  return SampleStratifiedImpl(dataset.n(), dataset.IndicesByClass(), count,
+                              rng);
+}
+
+std::vector<size_t> SampleStratified(const DatasetView& view, size_t count,
+                                     Rng* rng) {
+  BHPO_CHECK(rng != nullptr);
+  BHPO_CHECK(view.is_classification());
+  return SampleStratifiedImpl(view.n(), view.IndicesByClass(), count, rng);
+}
+
+Result<IndexSplit> SplitViewIndices(const DatasetView& view,
+                                    double test_fraction, Rng* rng,
+                                    bool stratified) {
   if (rng == nullptr) {
-    return Status::InvalidArgument("SplitTrainTest needs an Rng");
+    return Status::InvalidArgument("SplitViewIndices needs an Rng");
   }
   if (test_fraction <= 0.0 || test_fraction >= 1.0) {
     return Status::InvalidArgument("test_fraction must be in (0, 1)");
   }
+  size_t n = view.n();
   size_t n_test = static_cast<size_t>(
-      std::llround(test_fraction * static_cast<double>(dataset.n())));
-  n_test = std::max<size_t>(1, std::min(n_test, dataset.n() - 1));
+      std::llround(test_fraction * static_cast<double>(n)));
+  n_test = std::max<size_t>(1, std::min(n_test, n - 1));
 
-  std::vector<size_t> test_indices =
-      (stratified && dataset.is_classification())
-          ? SampleStratified(dataset, n_test, rng)
-          : SampleUniform(dataset.n(), n_test, rng);
+  IndexSplit split;
+  split.test = (stratified && view.is_classification())
+                   ? SampleStratified(view, n_test, rng)
+                   : SampleUniform(n, n_test, rng);
 
-  std::vector<char> is_test(dataset.n(), 0);
-  for (size_t i : test_indices) is_test[i] = 1;
-  std::vector<size_t> train_indices;
-  train_indices.reserve(dataset.n() - n_test);
-  for (size_t i = 0; i < dataset.n(); ++i) {
-    if (!is_test[i]) train_indices.push_back(i);
+  std::vector<char> is_test(n, 0);
+  for (size_t i : split.test) is_test[i] = 1;
+  split.train.reserve(n - n_test);
+  for (size_t i = 0; i < n; ++i) {
+    if (!is_test[i]) split.train.push_back(i);
   }
+  return split;
+}
+
+Result<TrainTestSplit> SplitTrainTest(const Dataset& dataset,
+                                      double test_fraction, Rng* rng,
+                                      bool stratified) {
+  // Same draw sequence as SplitViewIndices over the identity view, so the
+  // materializing and index-level paths produce corresponding splits for
+  // the same rng state.
+  Result<IndexSplit> indices =
+      SplitViewIndices(DatasetView(dataset), test_fraction, rng, stratified);
+  if (!indices.ok()) return indices.status();
 
   TrainTestSplit split;
-  split.train = dataset.Subset(train_indices);
-  split.test = dataset.Subset(test_indices);
+  split.train = dataset.Subset(indices->train);
+  split.test = dataset.Subset(indices->test);
   return split;
 }
 

@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "data/dataset.h"
+#include "data/dataset_view.h"
 
 namespace bhpo {
 
@@ -14,6 +15,19 @@ struct TrainTestSplit {
   Dataset train;
   Dataset test;
 };
+
+// Index-level train/test split: the same sampling as SplitTrainTest but
+// expressed as view-relative indices, so callers on the zero-copy path
+// (e.g. the MLP's early-stopping holdout) can split without materializing
+// either side.
+struct IndexSplit {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+
+Result<IndexSplit> SplitViewIndices(const DatasetView& view,
+                                    double test_fraction, Rng* rng,
+                                    bool stratified = true);
 
 // Random (optionally class-stratified) train/test split. The paper uses the
 // 80/20 rule for datasets shipped without a test set; test_fraction = 0.2
@@ -28,8 +42,11 @@ std::vector<size_t> SampleUniform(size_t n, size_t count, Rng* rng);
 
 // Class-stratified sample of `count` indices from a classification dataset:
 // each class contributes round(count * class_share) instances (largest
-// remainder rounding so the total is exact).
+// remainder rounding so the total is exact). The view overload returns
+// view-relative indices.
 std::vector<size_t> SampleStratified(const Dataset& dataset, size_t count,
+                                     Rng* rng);
+std::vector<size_t> SampleStratified(const DatasetView& view, size_t count,
                                      Rng* rng);
 
 // Splits `count` into `parts.size()` integers proportional to `parts`

@@ -62,10 +62,14 @@ Result<EvalResult> VanillaStrategy::Evaluate(const Configuration& config,
   }
 
   BHPO_ASSIGN_OR_RETURN(
-      ModelFactory factory,
-      MakeModelFactory(config, PerEvalFactory(options_.factory, rng)));
-  BHPO_ASSIGN_OR_RETURN(CvOutcome cv,
-                        CrossValidate(train, folds, factory, options_.metric));
+      FoldModelFactory factory,
+      MakeFoldModelFactory(config, PerEvalFactory(options_.factory, rng)));
+  CvOptions cv_options;
+  cv_options.metric = options_.metric;
+  cv_options.pool = options_.cv_pool;
+  BHPO_ASSIGN_OR_RETURN(
+      CvOutcome cv,
+      CrossValidate(DatasetView(train), folds, factory, cv_options));
 
   EvalResult result;
   result.cv = std::move(cv);
@@ -110,10 +114,14 @@ Result<EvalResult> EnhancedStrategy::Evaluate(const Configuration& config,
                         GenFolds(grouping_, subset, fold_options_, rng));
 
   BHPO_ASSIGN_OR_RETURN(
-      ModelFactory factory,
-      MakeModelFactory(config, PerEvalFactory(options_.factory, rng)));
-  BHPO_ASSIGN_OR_RETURN(CvOutcome cv,
-                        CrossValidate(train, folds, factory, options_.metric));
+      FoldModelFactory factory,
+      MakeFoldModelFactory(config, PerEvalFactory(options_.factory, rng)));
+  CvOptions cv_options;
+  cv_options.metric = options_.metric;
+  cv_options.pool = options_.cv_pool;
+  BHPO_ASSIGN_OR_RETURN(
+      CvOutcome cv,
+      CrossValidate(DatasetView(train), folds, factory, cv_options));
 
   EvalResult result;
   result.cv = std::move(cv);

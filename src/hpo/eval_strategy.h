@@ -34,6 +34,10 @@ struct StrategyOptions {
   EvalMetric metric = EvalMetric::kAuto;
   // Per-model training knobs.
   FactoryOptions factory;
+  // When non-null, each evaluation's CV folds run in parallel on this pool.
+  // The pool may be the same one the optimizer spreads configurations over
+  // (ParallelFor nests safely); results are identical to serial execution.
+  ThreadPool* cv_pool = nullptr;
 };
 
 // How a bandit-based optimizer evaluates one configuration: sample a subset

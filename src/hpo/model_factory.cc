@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "common/rng.h"
 #include "common/strings.h"
 
 namespace bhpo {
@@ -175,6 +176,41 @@ Result<ModelFactory> MakeModelFactory(const Configuration& config,
     BHPO_ASSIGN_OR_RETURN(GbdtConfig gbdt,
                           GbdtConfigFromConfiguration(config, options));
     return ModelFactory([gbdt] { return std::make_unique<GbdtModel>(gbdt); });
+  }
+  return Status::InvalidArgument("unknown model family '" + family + "'");
+}
+
+Result<FoldModelFactory> MakeFoldModelFactory(const Configuration& config,
+                                              const FactoryOptions& options) {
+  std::string family = config.GetOr("model", "mlp");
+  uint64_t base_seed = options.seed;
+  if (family == "mlp") {
+    BHPO_ASSIGN_OR_RETURN(MlpConfig mlp,
+                          MlpConfigFromConfiguration(config, options));
+    return FoldModelFactory([mlp, base_seed](size_t fold) {
+      MlpConfig fold_config = mlp;
+      fold_config.seed = MixSeed(base_seed, fold);
+      return std::make_unique<MlpModel>(fold_config);
+    });
+  }
+  if (family == "random_forest") {
+    BHPO_ASSIGN_OR_RETURN(RandomForestConfig rf,
+                          RandomForestConfigFromConfiguration(config,
+                                                              options));
+    return FoldModelFactory([rf, base_seed](size_t fold) {
+      RandomForestConfig fold_config = rf;
+      fold_config.seed = MixSeed(base_seed, fold);
+      return std::make_unique<RandomForest>(fold_config);
+    });
+  }
+  if (family == "gbdt") {
+    BHPO_ASSIGN_OR_RETURN(GbdtConfig gbdt,
+                          GbdtConfigFromConfiguration(config, options));
+    return FoldModelFactory([gbdt, base_seed](size_t fold) {
+      GbdtConfig fold_config = gbdt;
+      fold_config.seed = MixSeed(base_seed, fold);
+      return std::make_unique<GbdtModel>(fold_config);
+    });
   }
   return Status::InvalidArgument("unknown model family '" + family + "'");
 }

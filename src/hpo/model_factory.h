@@ -54,6 +54,13 @@ Result<GbdtConfig> GbdtConfigFromConfiguration(const Configuration& config,
 Result<ModelFactory> MakeModelFactory(const Configuration& config,
                                       const FactoryOptions& options);
 
+// Fold-aware variant: the configuration is resolved once, then fold f's
+// model is seeded with MixSeed(options.seed, f). Seeds depend only on
+// (options.seed, fold), never on which thread evaluates the fold, so
+// fold-parallel CV reproduces the serial result exactly.
+Result<FoldModelFactory> MakeFoldModelFactory(const Configuration& config,
+                                              const FactoryOptions& options);
+
 }  // namespace bhpo
 
 #endif  // BHPO_HPO_MODEL_FACTORY_H_

@@ -95,7 +95,24 @@ Result<HpoResult> SuccessiveHalving::Optimize(const Dataset& train, Rng* rng) {
     ++result.num_evaluations;
     result.total_instances += eval.budget_used;
   }
+
+  // Report the winner's own score from the evaluation record — its
+  // highest-budget (latest, on ties) entry — rather than whatever score
+  // happened to top the last rung. The two coincide in the common case,
+  // but recomputing from history keeps best_score honest for any rung
+  // schedule (and for searches where every score is negative, where a 0.0
+  // fallback would overstate the result).
   result.best_score = last_best_score;
+  bool found = false;
+  size_t best_budget = 0;
+  for (const EvaluationRecord& record : result.history) {
+    if (!(record.config == result.best_config)) continue;
+    if (!found || record.budget >= best_budget) {
+      found = true;
+      best_budget = record.budget;
+      result.best_score = record.score;
+    }
+  }
   return result;
 }
 

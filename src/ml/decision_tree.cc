@@ -175,9 +175,9 @@ int DecisionTree::BuildNode(const Dataset& train,
   return node_id;
 }
 
-Status DecisionTree::Fit(const Dataset& train) {
+Status DecisionTree::Fit(const DatasetView& train) {
   BHPO_RETURN_NOT_OK(config_.Validate());
-  if (train.n() == 0) {
+  if (!train.valid() || train.n() == 0) {
     return Status::InvalidArgument("cannot fit on an empty dataset");
   }
   task_ = train.task();
@@ -185,10 +185,13 @@ Status DecisionTree::Fit(const Dataset& train) {
   nodes_.clear();
   depth_ = 0;
 
+  // Building over the view's parent indices lets BuildNode read rows from
+  // the parent matrix in place; split search only ever compares feature
+  // values, so the result is identical to fitting a materialized copy.
   std::vector<size_t> indices(train.n());
-  std::iota(indices.begin(), indices.end(), 0);
+  for (size_t i = 0; i < train.n(); ++i) indices[i] = train.parent_index(i);
   Rng rng(config_.seed);
-  BuildNode(train, &indices, 0, train.n(), 0, &rng);
+  BuildNode(train.parent(), &indices, 0, train.n(), 0, &rng);
   fitted_ = true;
   return Status::OK();
 }
@@ -232,6 +235,39 @@ std::vector<double> DecisionTree::PredictValues(const Matrix& features) const {
   std::vector<double> values(features.rows());
   for (size_t r = 0; r < features.rows(); ++r) {
     values[r] = Descend(features.Row(r)).value[0];
+  }
+  return values;
+}
+
+std::vector<int> DecisionTree::PredictLabels(const DatasetView& view) const {
+  BHPO_CHECK(fitted_) << "PredictLabels before Fit";
+  BHPO_CHECK(task_ == Task::kClassification);
+  std::vector<int> labels(view.n());
+  for (size_t r = 0; r < view.n(); ++r) {
+    const std::vector<double>& dist = Descend(view.row(r)).value;
+    labels[r] = static_cast<int>(
+        std::max_element(dist.begin(), dist.end()) - dist.begin());
+  }
+  return labels;
+}
+
+Matrix DecisionTree::PredictProba(const DatasetView& view) const {
+  BHPO_CHECK(fitted_) << "PredictProba before Fit";
+  BHPO_CHECK(task_ == Task::kClassification);
+  Matrix proba(view.n(), num_classes_);
+  for (size_t r = 0; r < view.n(); ++r) {
+    const std::vector<double>& dist = Descend(view.row(r)).value;
+    for (int c = 0; c < num_classes_; ++c) proba(r, c) = dist[c];
+  }
+  return proba;
+}
+
+std::vector<double> DecisionTree::PredictValues(const DatasetView& view) const {
+  BHPO_CHECK(fitted_) << "PredictValues before Fit";
+  BHPO_CHECK(task_ == Task::kRegression);
+  std::vector<double> values(view.n());
+  for (size_t r = 0; r < view.n(); ++r) {
+    values[r] = Descend(view.row(r)).value[0];
   }
   return values;
 }

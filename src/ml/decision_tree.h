@@ -35,12 +35,22 @@ class DecisionTree : public Model {
   explicit DecisionTree(DecisionTreeConfig config = {})
       : config_(std::move(config)) {}
 
-  Status Fit(const Dataset& train) override;
+  using Model::Fit;
+  using Model::PredictLabels;
+  using Model::PredictValues;
+
+  // Trains over the view's index table directly; no feature row is copied.
+  Status Fit(const DatasetView& train) override;
   std::vector<int> PredictLabels(const Matrix& features) const override;
   std::vector<double> PredictValues(const Matrix& features) const override;
 
+  // Row-wise view predictions: descend on rows in place, zero gathering.
+  std::vector<int> PredictLabels(const DatasetView& view) const override;
+  std::vector<double> PredictValues(const DatasetView& view) const override;
+
   // Classification: per-class probability rows (leaf class frequencies).
   Matrix PredictProba(const Matrix& features) const;
+  Matrix PredictProba(const DatasetView& view) const;
 
   bool fitted() const { return fitted_; }
   size_t node_count() const { return nodes_.size(); }

@@ -30,12 +30,15 @@ Status GbdtConfig::Validate() const {
 
 namespace {
 
-// Regression tree fit to pseudo-residuals over a row subset.
+// Regression tree fit to pseudo-residuals over a row subset. The stage
+// dataset owns new targets (the residuals), so gathering the subset's
+// feature rows is inherent here; everything else in the fit stays on the
+// view.
 Result<std::unique_ptr<DecisionTree>> FitResidualTree(
-    const Matrix& features, const std::vector<double>& residuals,
+    const DatasetView& train, const std::vector<double>& residuals,
     const std::vector<size_t>& rows, const GbdtConfig& config,
     uint64_t seed) {
-  Matrix x = features.SelectRows(rows);
+  Matrix x = train.ViewOf(rows).GatherFeatures();
   std::vector<double> y;
   y.reserve(rows.size());
   for (size_t r : rows) y.push_back(residuals[r]);
@@ -52,9 +55,9 @@ Result<std::unique_ptr<DecisionTree>> FitResidualTree(
 
 }  // namespace
 
-Status GbdtModel::Fit(const Dataset& train) {
+Status GbdtModel::Fit(const DatasetView& train) {
   BHPO_RETURN_NOT_OK(config_.Validate());
-  if (train.n() == 0) {
+  if (!train.valid() || train.n() == 0) {
     return Status::InvalidArgument("cannot fit on an empty dataset");
   }
   task_ = train.task();
@@ -78,7 +81,7 @@ Status GbdtModel::Fit(const Dataset& train) {
     }
   } else {
     double mean = 0.0;
-    for (double t : train.targets()) mean += t;
+    for (size_t i = 0; i < n; ++i) mean += train.target(i);
     base_score_[0] = mean / static_cast<double>(n);
   }
 
@@ -113,9 +116,9 @@ Status GbdtModel::Fit(const Dataset& train) {
         }
         BHPO_ASSIGN_OR_RETURN(
             std::unique_ptr<DecisionTree> tree,
-            FitResidualTree(train.features(), residuals, rows, config_,
+            FitResidualTree(train, residuals, rows, config_,
                             rng.engine()()));
-        std::vector<double> update = tree->PredictValues(train.features());
+        std::vector<double> update = tree->PredictValues(train);
         for (size_t i = 0; i < n; ++i) {
           scores(i, k) += config_.learning_rate * update[i];
         }
@@ -127,9 +130,9 @@ Status GbdtModel::Fit(const Dataset& train) {
       }
       BHPO_ASSIGN_OR_RETURN(
           std::unique_ptr<DecisionTree> tree,
-          FitResidualTree(train.features(), residuals, rows, config_,
+          FitResidualTree(train, residuals, rows, config_,
                           rng.engine()()));
-      std::vector<double> update = tree->PredictValues(train.features());
+      std::vector<double> update = tree->PredictValues(train);
       for (size_t i = 0; i < n; ++i) {
         scores(i, 0) += config_.learning_rate * update[i];
       }
@@ -142,9 +145,9 @@ Status GbdtModel::Fit(const Dataset& train) {
   if (train.is_classification()) {
     Matrix proba = scores;
     SoftmaxRows(&proba);
-    final_loss_ = CrossEntropyLoss(proba, train.labels());
+    final_loss_ = CrossEntropyLoss(proba, train.GatherLabels());
   } else {
-    final_loss_ = HalfMseLoss(scores, train.targets());
+    final_loss_ = HalfMseLoss(scores, train.GatherTargets());
   }
   fitted_ = true;
   return Status::OK();
@@ -192,6 +195,53 @@ std::vector<double> GbdtModel::PredictValues(const Matrix& features) const {
   BHPO_CHECK(fitted_) << "PredictValues before Fit";
   BHPO_CHECK(task_ == Task::kRegression);
   Matrix scores = RawScores(features);
+  std::vector<double> values(scores.rows());
+  for (size_t r = 0; r < scores.rows(); ++r) values[r] = scores(r, 0);
+  return values;
+}
+
+Matrix GbdtModel::RawScores(const DatasetView& view) const {
+  size_t outputs = base_score_.size();
+  Matrix scores(view.n(), outputs);
+  for (size_t i = 0; i < view.n(); ++i) {
+    for (size_t k = 0; k < outputs; ++k) scores(i, k) = base_score_[k];
+  }
+  for (const auto& stage : stages_) {
+    for (size_t k = 0; k < stage.size(); ++k) {
+      std::vector<double> update = stage[k]->PredictValues(view);
+      for (size_t i = 0; i < view.n(); ++i) {
+        scores(i, k) += config_.learning_rate * update[i];
+      }
+    }
+  }
+  return scores;
+}
+
+Matrix GbdtModel::PredictProba(const DatasetView& view) const {
+  BHPO_CHECK(fitted_) << "PredictProba before Fit";
+  BHPO_CHECK(task_ == Task::kClassification);
+  Matrix proba = RawScores(view);
+  SoftmaxRows(&proba);
+  return proba;
+}
+
+std::vector<int> GbdtModel::PredictLabels(const DatasetView& view) const {
+  BHPO_CHECK(fitted_) << "PredictLabels before Fit";
+  BHPO_CHECK(task_ == Task::kClassification);
+  Matrix scores = RawScores(view);
+  std::vector<int> labels(scores.rows());
+  for (size_t r = 0; r < scores.rows(); ++r) {
+    const double* p = scores.Row(r);
+    labels[r] =
+        static_cast<int>(std::max_element(p, p + scores.cols()) - p);
+  }
+  return labels;
+}
+
+std::vector<double> GbdtModel::PredictValues(const DatasetView& view) const {
+  BHPO_CHECK(fitted_) << "PredictValues before Fit";
+  BHPO_CHECK(task_ == Task::kRegression);
+  Matrix scores = RawScores(view);
   std::vector<double> values(scores.rows());
   for (size_t r = 0; r < scores.rows(); ++r) values[r] = scores(r, 0);
   return values;

@@ -33,11 +33,20 @@ class GbdtModel : public Model {
  public:
   explicit GbdtModel(GbdtConfig config = {}) : config_(std::move(config)) {}
 
-  Status Fit(const Dataset& train) override;
+  using Model::Fit;
+  using Model::PredictLabels;
+  using Model::PredictValues;
+
+  // Residual trees gather only the (possibly subsampled) rows they train
+  // on; per-round score updates walk the view row-wise without copying.
+  Status Fit(const DatasetView& train) override;
   std::vector<int> PredictLabels(const Matrix& features) const override;
   std::vector<double> PredictValues(const Matrix& features) const override;
+  std::vector<int> PredictLabels(const DatasetView& view) const override;
+  std::vector<double> PredictValues(const DatasetView& view) const override;
   // Classification: softmax probabilities of the boosted scores.
   Matrix PredictProba(const Matrix& features) const;
+  Matrix PredictProba(const DatasetView& view) const;
 
   bool fitted() const { return fitted_; }
   int rounds_fit() const { return static_cast<int>(stages_.size()); }
@@ -51,6 +60,7 @@ class GbdtModel : public Model {
   // Raw additive scores F(x): (n x num_classes) for classification,
   // (n x 1) for regression.
   Matrix RawScores(const Matrix& features) const;
+  Matrix RawScores(const DatasetView& view) const;
 
   GbdtConfig config_;
   Task task_ = Task::kClassification;

@@ -101,25 +101,29 @@ void MlpModel::Forward(const Matrix& input,
   }
 }
 
-double MlpModel::ComputeLossAndGradients(
-    const Dataset& data, std::vector<Matrix>* weight_grads,
-    std::vector<Matrix>* bias_grads) const {
+double MlpModel::LossAndGradients(const Matrix& x,
+                                  const std::vector<int>* labels,
+                                  const std::vector<double>* targets,
+                                  std::vector<Matrix>* weight_grads,
+                                  std::vector<Matrix>* bias_grads) const {
   BHPO_CHECK(weight_grads != nullptr && bias_grads != nullptr);
-  BHPO_CHECK_GT(data.n(), 0u);
+  BHPO_CHECK_GT(x.rows(), 0u);
 
   std::vector<Matrix> outs;
-  Forward(data.features(), &outs);
+  Forward(x, &outs);
   const Matrix& output = outs.back();
 
-  double inv_n = 1.0 / static_cast<double>(data.n());
+  double inv_n = 1.0 / static_cast<double>(x.rows());
   double loss;
   Matrix delta;
   if (task_ == Task::kClassification) {
-    loss = CrossEntropyLoss(output, data.labels());
-    OutputDeltaClassification(output, data.labels(), &delta);
+    BHPO_CHECK(labels != nullptr);
+    loss = CrossEntropyLoss(output, *labels);
+    OutputDeltaClassification(output, *labels, &delta);
   } else {
-    loss = HalfMseLoss(output, data.targets());
-    OutputDeltaRegression(output, data.targets(), &delta);
+    BHPO_CHECK(targets != nullptr);
+    loss = HalfMseLoss(output, *targets);
+    OutputDeltaRegression(output, *targets, &delta);
   }
   // L2 penalty (weights only, like scikit-learn).
   double l2 = 0.0;
@@ -143,9 +147,35 @@ double MlpModel::ComputeLossAndGradients(
   return loss;
 }
 
-Status MlpModel::Fit(const Dataset& train) {
+double MlpModel::ComputeLossAndGradients(
+    const Dataset& data, std::vector<Matrix>* weight_grads,
+    std::vector<Matrix>* bias_grads) const {
+  if (task_ == Task::kClassification) {
+    return LossAndGradients(data.features(), &data.labels(), nullptr,
+                            weight_grads, bias_grads);
+  }
+  return LossAndGradients(data.features(), nullptr, &data.targets(),
+                          weight_grads, bias_grads);
+}
+
+double MlpModel::ComputeLossAndGradients(
+    const DatasetView& data, std::vector<Matrix>* weight_grads,
+    std::vector<Matrix>* bias_grads) const {
+  if (data.is_full()) {
+    return ComputeLossAndGradients(data.parent(), weight_grads, bias_grads);
+  }
+  Matrix x = data.GatherFeatures();
+  if (task_ == Task::kClassification) {
+    std::vector<int> labels = data.GatherLabels();
+    return LossAndGradients(x, &labels, nullptr, weight_grads, bias_grads);
+  }
+  std::vector<double> targets = data.GatherTargets();
+  return LossAndGradients(x, nullptr, &targets, weight_grads, bias_grads);
+}
+
+Status MlpModel::Fit(const DatasetView& train) {
   BHPO_RETURN_NOT_OK(config_.Validate());
-  if (train.n() == 0) {
+  if (!train.valid() || train.n() == 0) {
     return Status::InvalidArgument("cannot fit on an empty dataset");
   }
   task_ = train.task();
@@ -162,25 +192,28 @@ Status MlpModel::Fit(const Dataset& train) {
   return FitSgdFamily(train);
 }
 
-Status MlpModel::FitSgdFamily(const Dataset& train) {
+Status MlpModel::FitSgdFamily(const DatasetView& train) {
   size_t n = train.n();
   size_t batch = config_.batch_size == 0
                      ? std::min<size_t>(200, n)
                      : std::min(config_.batch_size, n);
 
-  // Optional validation holdout for early stopping.
-  Dataset fit_set = train;
+  // Optional validation holdout for early stopping. The holdout is an
+  // index-level split of the view; only the small validation side is
+  // materialized (it is scored every epoch), the training side stays a
+  // view.
+  DatasetView fit_view = train;
   Dataset val_set;
   bool use_validation = config_.early_stopping && n >= 10;
   if (use_validation) {
     Rng split_rng(config_.seed + 1);
     BHPO_ASSIGN_OR_RETURN(
-        TrainTestSplit holdout,
-        SplitTrainTest(train, config_.validation_fraction, &split_rng,
-                       /*stratified=*/train.is_classification()));
-    fit_set = std::move(holdout.train);
-    val_set = std::move(holdout.test);
-    batch = std::min(batch, fit_set.n());
+        IndexSplit holdout,
+        SplitViewIndices(train, config_.validation_fraction, &split_rng,
+                         /*stratified=*/train.is_classification()));
+    val_set = train.ViewOf(holdout.test).Materialize();
+    fit_view = train.ViewOf(holdout.train);
+    batch = std::min(batch, fit_view.n());
   }
 
   LearningRate lr(config_.learning_rate, config_.learning_rate_init,
@@ -191,7 +224,7 @@ Status MlpModel::FitSgdFamily(const Dataset& train) {
   AdamUpdater bias_adam;
 
   Rng shuffle_rng(config_.seed + 2);
-  std::vector<size_t> order(fit_set.n());
+  std::vector<size_t> order(fit_view.n());
   std::iota(order.begin(), order.end(), 0);
 
   double best_val_score = -1e300;
@@ -207,9 +240,8 @@ Status MlpModel::FitSgdFamily(const Dataset& train) {
       size_t end = std::min(start + batch, order.size());
       std::vector<size_t> batch_idx(order.begin() + start,
                                     order.begin() + end);
-      Dataset batch_set = fit_set.Subset(batch_idx);
-      double batch_loss =
-          ComputeLossAndGradients(batch_set, &weight_grads, &bias_grads);
+      double batch_loss = ComputeLossAndGradients(
+          fit_view.ViewOf(batch_idx), &weight_grads, &bias_grads);
       loss_sum += batch_loss * static_cast<double>(batch_idx.size());
 
       double step = lr.NextUpdateRate();
@@ -221,7 +253,7 @@ Status MlpModel::FitSgdFamily(const Dataset& train) {
         bias_adam.Step(&biases_, bias_grads, step);
       }
     }
-    double epoch_loss = loss_sum / static_cast<double>(fit_set.n());
+    double epoch_loss = loss_sum / static_cast<double>(fit_view.n());
     final_loss_ = epoch_loss;
     iterations_run_ = epoch + 1;
 
@@ -288,6 +320,16 @@ void MlpModel::UnpackParameters(const std::vector<double>& flat) {
               b.data().begin());
     pos += b.size();
   }
+}
+
+Status MlpModel::FitLbfgs(const DatasetView& train) {
+  // L-BFGS is a full-batch solver: every objective evaluation reads the
+  // whole training set, so a subset view is materialized once up front
+  // instead of gathering per evaluation. The identity view trains straight
+  // off the parent.
+  if (train.is_full()) return FitLbfgs(train.parent());
+  Dataset materialized = train.Materialize();
+  return FitLbfgs(materialized);
 }
 
 Status MlpModel::FitLbfgs(const Dataset& train) {

@@ -66,7 +66,13 @@ class MlpModel : public Model {
   // Epochs (sgd/adam) or iterations (lbfgs) actually run.
   int iterations_run() const { return iterations_run_; }
 
-  Status Fit(const Dataset& train) override;
+  using Model::Fit;
+  using Model::PredictLabels;
+  using Model::PredictValues;
+
+  // Minibatch solvers (sgd/adam) gather only the current batch's rows from
+  // the view; L-BFGS materializes the view once (full-batch solver).
+  Status Fit(const DatasetView& train) override;
   std::vector<int> PredictLabels(const Matrix& features) const override;
   std::vector<double> PredictValues(const Matrix& features) const override;
 
@@ -77,6 +83,9 @@ class MlpModel : public Model {
   // (the L2 term is scaled by 1/data.n(), scikit-learn's per-batch
   // convention). Exposed for the finite-difference gradient tests.
   double ComputeLossAndGradients(const Dataset& data,
+                                 std::vector<Matrix>* weight_grads,
+                                 std::vector<Matrix>* bias_grads) const;
+  double ComputeLossAndGradients(const DatasetView& data,
                                  std::vector<Matrix>* weight_grads,
                                  std::vector<Matrix>* bias_grads) const;
 
@@ -98,7 +107,15 @@ class MlpModel : public Model {
   // probabilities (classification) or predictions (regression).
   void Forward(const Matrix& input, std::vector<Matrix>* layer_outputs) const;
 
-  Status FitSgdFamily(const Dataset& train);
+  // Shared loss/gradient core; exactly one of labels/targets is non-null,
+  // matching the task the model was initialized for.
+  double LossAndGradients(const Matrix& x, const std::vector<int>* labels,
+                          const std::vector<double>* targets,
+                          std::vector<Matrix>* weight_grads,
+                          std::vector<Matrix>* bias_grads) const;
+
+  Status FitSgdFamily(const DatasetView& train);
+  Status FitLbfgs(const DatasetView& train);
   Status FitLbfgs(const Dataset& train);
 
   size_t ParameterCount() const;

@@ -5,6 +5,16 @@
 
 namespace bhpo {
 
+std::vector<int> Model::PredictLabels(const DatasetView& view) const {
+  if (view.is_full()) return PredictLabels(view.parent().features());
+  return PredictLabels(view.GatherFeatures());
+}
+
+std::vector<double> Model::PredictValues(const DatasetView& view) const {
+  if (view.is_full()) return PredictValues(view.parent().features());
+  return PredictValues(view.GatherFeatures());
+}
+
 const char* EvalMetricToString(EvalMetric metric) {
   switch (metric) {
     case EvalMetric::kAuto:
@@ -19,7 +29,7 @@ const char* EvalMetricToString(EvalMetric metric) {
   return "?";
 }
 
-double EvaluateModel(const Model& model, const Dataset& test,
+double EvaluateModel(const Model& model, const DatasetView& test,
                      EvalMetric metric) {
   if (metric == EvalMetric::kAuto) {
     metric = test.is_classification() ? EvalMetric::kAccuracy
@@ -28,22 +38,27 @@ double EvaluateModel(const Model& model, const Dataset& test,
   switch (metric) {
     case EvalMetric::kAccuracy: {
       BHPO_CHECK(test.is_classification());
-      return Accuracy(test.labels(), model.PredictLabels(test.features()));
+      return Accuracy(test.GatherLabels(), model.PredictLabels(test));
     }
     case EvalMetric::kF1: {
       BHPO_CHECK(test.is_classification());
-      return PaperF1(test.labels(), model.PredictLabels(test.features()),
+      return PaperF1(test.GatherLabels(), model.PredictLabels(test),
                      test.num_classes());
     }
     case EvalMetric::kR2: {
       BHPO_CHECK(!test.is_classification());
-      return R2Score(test.targets(), model.PredictValues(test.features()));
+      return R2Score(test.GatherTargets(), model.PredictValues(test));
     }
     case EvalMetric::kAuto:
       break;
   }
   BHPO_CHECK(false) << "unreachable";
   return 0.0;
+}
+
+double EvaluateModel(const Model& model, const Dataset& test,
+                     EvalMetric metric) {
+  return EvaluateModel(model, DatasetView(test), metric);
 }
 
 }  // namespace bhpo

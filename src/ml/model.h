@@ -6,22 +6,37 @@
 #include "common/matrix.h"
 #include "common/status.h"
 #include "data/dataset.h"
+#include "data/dataset_view.h"
 
 namespace bhpo {
 
 // Minimal supervised-model interface the HPO layer trains and scores
 // through. Implementations must be fit before prediction; calling the
 // prediction method of the wrong task is a programming error (CHECK).
+//
+// The virtual surface works on DatasetView so the cross-validation hot path
+// never copies feature rows; the Dataset overloads below wrap their argument
+// in an identity view, keeping existing call sites source compatible.
+// Concrete models hide base overloads when they override one name, so every
+// implementation pulls them back in with `using Model::Fit;` (and likewise
+// for the predict methods it overrides).
 class Model {
  public:
   virtual ~Model() = default;
 
-  virtual Status Fit(const Dataset& train) = 0;
+  virtual Status Fit(const DatasetView& train) = 0;
+  Status Fit(const Dataset& train) { return Fit(DatasetView(train)); }
 
   // Classification: hard labels for each feature row.
   virtual std::vector<int> PredictLabels(const Matrix& features) const = 0;
   // Regression: real-valued predictions for each feature row.
   virtual std::vector<double> PredictValues(const Matrix& features) const = 0;
+
+  // View-based predictions. The defaults gather the view's rows into a
+  // dense matrix first; models that can walk rows in place (trees,
+  // ensembles) override these to skip the copy.
+  virtual std::vector<int> PredictLabels(const DatasetView& view) const;
+  virtual std::vector<double> PredictValues(const DatasetView& view) const;
 };
 
 // Which score a dataset is judged by. The paper reports accuracy for the
@@ -34,6 +49,8 @@ const char* EvalMetricToString(EvalMetric metric);
 
 // Scores a fitted model on `test` with the chosen metric. Higher is always
 // better (R^2 can be negative).
+double EvaluateModel(const Model& model, const DatasetView& test,
+                     EvalMetric metric = EvalMetric::kAuto);
 double EvaluateModel(const Model& model, const Dataset& test,
                      EvalMetric metric = EvalMetric::kAuto);
 

@@ -14,9 +14,9 @@ Status RandomForestConfig::Validate() const {
   return tree.Validate();
 }
 
-Status RandomForest::Fit(const Dataset& train) {
+Status RandomForest::Fit(const DatasetView& train) {
   BHPO_RETURN_NOT_OK(config_.Validate());
-  if (train.n() == 0) {
+  if (!train.valid() || train.n() == 0) {
     return Status::InvalidArgument("cannot fit on an empty dataset");
   }
   task_ = train.task();
@@ -34,13 +34,13 @@ Status RandomForest::Fit(const Dataset& train) {
 
   Rng rng(config_.seed);
   for (int t = 0; t < config_.num_trees; ++t) {
-    Dataset bag = train;
+    DatasetView bag = train;
     if (config_.bootstrap) {
       std::vector<size_t> sample(train.n());
       for (size_t i = 0; i < train.n(); ++i) {
         sample[i] = rng.UniformIndex(train.n());
       }
-      bag = train.Subset(sample);
+      bag = train.ViewOf(sample);  // Index composition, no row copies.
     }
     tree_config.seed = rng.engine()();
     auto tree = std::make_unique<DecisionTree>(tree_config);
@@ -104,6 +104,40 @@ std::vector<double> RandomForest::PredictValues(const Matrix& features) const {
   std::vector<double> total(features.rows(), 0.0);
   for (const auto& tree : trees_) {
     std::vector<double> values = tree->PredictValues(features);
+    for (size_t i = 0; i < total.size(); ++i) total[i] += values[i];
+  }
+  for (double& v : total) v /= static_cast<double>(trees_.size());
+  return total;
+}
+
+Matrix RandomForest::PredictProba(const DatasetView& view) const {
+  BHPO_CHECK(fitted_) << "PredictProba before Fit";
+  BHPO_CHECK(task_ == Task::kClassification);
+  Matrix total(view.n(), num_classes_);
+  for (const auto& tree : trees_) {
+    total.Add(tree->PredictProba(view));
+  }
+  total.Scale(1.0 / static_cast<double>(trees_.size()));
+  return total;
+}
+
+std::vector<int> RandomForest::PredictLabels(const DatasetView& view) const {
+  Matrix proba = PredictProba(view);
+  std::vector<int> labels(proba.rows());
+  for (size_t r = 0; r < proba.rows(); ++r) {
+    const double* p = proba.Row(r);
+    labels[r] = static_cast<int>(
+        std::max_element(p, p + proba.cols()) - p);
+  }
+  return labels;
+}
+
+std::vector<double> RandomForest::PredictValues(const DatasetView& view) const {
+  BHPO_CHECK(fitted_) << "PredictValues before Fit";
+  BHPO_CHECK(task_ == Task::kRegression);
+  std::vector<double> total(view.n(), 0.0);
+  for (const auto& tree : trees_) {
+    std::vector<double> values = tree->PredictValues(view);
     for (size_t i = 0; i < total.size(); ++i) total[i] += values[i];
   }
   for (double& v : total) v /= static_cast<double>(trees_.size());

@@ -30,10 +30,19 @@ class RandomForest : public Model {
   explicit RandomForest(RandomForestConfig config = {})
       : config_(std::move(config)) {}
 
-  Status Fit(const Dataset& train) override;
+  using Model::Fit;
+  using Model::PredictLabels;
+  using Model::PredictValues;
+
+  // Bootstrap bags are index compositions over the view's parent; no
+  // feature row is copied anywhere in the fit.
+  Status Fit(const DatasetView& train) override;
   std::vector<int> PredictLabels(const Matrix& features) const override;
   std::vector<double> PredictValues(const Matrix& features) const override;
+  std::vector<int> PredictLabels(const DatasetView& view) const override;
+  std::vector<double> PredictValues(const DatasetView& view) const override;
   Matrix PredictProba(const Matrix& features) const;
+  Matrix PredictProba(const DatasetView& view) const;
 
   // Regression only: per-row ensemble mean and the stddev across trees —
   // the epistemic-uncertainty estimate SMAC-style surrogates need.

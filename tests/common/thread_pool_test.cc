@@ -58,6 +58,30 @@ TEST(ThreadPoolTest, SingleWorkerFallbackIsSerial) {
   EXPECT_EQ(order, expected);
 }
 
+// A ParallelFor issued from inside a pool worker must complete instead of
+// deadlocking: the worker helps drain the queue while its batch is pending.
+// 8 outer tasks each spawning 16 inner iterations on 4 threads guarantees
+// every worker is inside a nested call at some point.
+TEST(ThreadPoolTest, NestedParallelForFromWorkerCompletes) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_hits{0};
+  pool.ParallelFor(8, [&pool, &inner_hits](size_t) {
+    pool.ParallelFor(16, [&inner_hits](size_t) { inner_hits.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_hits.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, DeeplyNestedParallelForCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> hits{0};
+  pool.ParallelFor(4, [&pool, &hits](size_t) {
+    pool.ParallelFor(4, [&pool, &hits](size_t) {
+      pool.ParallelFor(4, [&hits](size_t) { hits.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(hits.load(), 4 * 4 * 4);
+}
+
 TEST(ThreadPoolTest, DestructionJoinsCleanly) {
   std::atomic<int> counter{0};
   {

@@ -1,10 +1,13 @@
 #include "cv/cross_validate.h"
 
+#include <cmath>
 #include <memory>
 #include <numeric>
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+#include "common/thread_pool.h"
 #include "cv/stratified_kfold.h"
 #include "data/synthetic.h"
 #include "ml/mlp.h"
@@ -16,8 +19,14 @@ namespace {
 // set. Lets CV tests check plumbing without MLP nondeterminism/cost.
 class MajorityModel : public Model {
  public:
-  Status Fit(const Dataset& train) override {
-    if (train.n() == 0) return Status::InvalidArgument("empty");
+  using Model::Fit;
+  using Model::PredictLabels;
+  using Model::PredictValues;
+
+  Status Fit(const DatasetView& train) override {
+    if (!train.valid() || train.n() == 0) {
+      return Status::InvalidArgument("empty");
+    }
     std::vector<size_t> counts = train.ClassCounts();
     majority_ = static_cast<int>(
         std::max_element(counts.begin(), counts.end()) - counts.begin());
@@ -38,7 +47,11 @@ class MajorityModel : public Model {
 // A model whose Fit always fails, for the divergence path.
 class BrokenModel : public Model {
  public:
-  Status Fit(const Dataset&) override {
+  using Model::Fit;
+  using Model::PredictLabels;
+  using Model::PredictValues;
+
+  Status Fit(const DatasetView&) override {
     return Status::Internal("synthetic divergence");
   }
   std::vector<int> PredictLabels(const Matrix&) const override { return {}; }
@@ -92,15 +105,35 @@ TEST(CrossValidateTest, MajorityModelScoresItsBaseRate) {
   EXPECT_EQ(outcome.subset_size, 200u);
 }
 
-TEST(CrossValidateTest, FailedFitGetsWorstScoreNotError) {
+TEST(CrossValidateTest, FailedFoldsAreCountedNotScored) {
   Dataset data = SkewedData(50);
   FoldSet folds = FiveFolds(data);
   CvOutcome outcome =
       CrossValidate(data, folds,
                     [] { return std::make_unique<BrokenModel>(); })
           .value();
-  for (double s : outcome.fold_scores) EXPECT_DOUBLE_EQ(s, 0.0);
-  EXPECT_DOUBLE_EQ(outcome.mean, 0.0);
+  // Failures are recorded, not folded into the mean as fake scores; with
+  // every fold broken the mean is the worst possible value.
+  EXPECT_EQ(outcome.failed_folds, 5u);
+  EXPECT_TRUE(outcome.fold_scores.empty());
+  EXPECT_TRUE(std::isinf(outcome.mean));
+  EXPECT_LT(outcome.mean, 0.0);
+  EXPECT_DOUBLE_EQ(outcome.stddev, 0.0);
+}
+
+TEST(CrossValidateTest, PartialFailureExcludesOnlyBrokenFolds) {
+  Dataset data = SkewedData(200, 0.3);
+  FoldSet folds = FiveFolds(data);
+  // Fold 2's model is broken; every other fold fits normally.
+  FoldModelFactory factory = [](size_t fold) -> std::unique_ptr<Model> {
+    if (fold == 2) return std::make_unique<BrokenModel>();
+    return std::make_unique<MajorityModel>();
+  };
+  CvOutcome outcome =
+      CrossValidate(DatasetView(data), folds, factory).value();
+  EXPECT_EQ(outcome.failed_folds, 1u);
+  ASSERT_EQ(outcome.fold_scores.size(), 4u);
+  EXPECT_NEAR(outcome.mean, 0.7, 0.05);
 }
 
 TEST(CrossValidateTest, EmptyFoldsAreSkipped) {
@@ -155,6 +188,48 @@ TEST(CrossValidateTest, WithRealMlpOnEasyData) {
           .value();
   EXPECT_GT(outcome.mean, 0.85);
   EXPECT_GE(outcome.stddev, 0.0);
+}
+
+// Fold-parallel CV must reproduce the serial outcome bit for bit: per-fold
+// seeds come from MixSeed (independent of execution order) and the
+// reduction walks preallocated slots in fold order.
+TEST(CrossValidateTest, PoolParallelMatchesSerialBitExact) {
+  BlobsSpec spec;
+  spec.n = 120;
+  spec.num_features = 4;
+  spec.num_classes = 3;
+  spec.seed = 11;
+  Dataset data = MakeBlobs(spec).value().Standardized();
+  FoldSet folds = FiveFolds(data);
+
+  MlpConfig config;
+  config.hidden_layer_sizes = {6};
+  config.solver = Solver::kAdam;
+  config.max_iter = 15;
+  config.learning_rate_init = 0.01;
+  FoldModelFactory factory = [&config](size_t fold) {
+    MlpConfig fold_config = config;
+    fold_config.seed = MixSeed(7, fold);
+    return std::make_unique<MlpModel>(fold_config);
+  };
+
+  CvOutcome serial =
+      CrossValidate(DatasetView(data), folds, factory).value();
+
+  ThreadPool pool(4);
+  CvOptions options;
+  options.pool = &pool;
+  CvOutcome parallel =
+      CrossValidate(DatasetView(data), folds, factory, options).value();
+
+  ASSERT_EQ(parallel.fold_scores.size(), serial.fold_scores.size());
+  for (size_t f = 0; f < serial.fold_scores.size(); ++f) {
+    EXPECT_DOUBLE_EQ(parallel.fold_scores[f], serial.fold_scores[f]);
+  }
+  EXPECT_DOUBLE_EQ(parallel.mean, serial.mean);
+  EXPECT_DOUBLE_EQ(parallel.stddev, serial.stddev);
+  EXPECT_EQ(parallel.failed_folds, serial.failed_folds);
+  EXPECT_EQ(parallel.subset_size, serial.subset_size);
 }
 
 }  // namespace

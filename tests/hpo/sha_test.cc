@@ -1,7 +1,11 @@
 #include "hpo/sha.h"
 
+#include <memory>
+
 #include <gtest/gtest.h>
 
+#include "data/synthetic.h"
+#include "hpo/eval_strategy.h"
 #include "tests/hpo/fake_strategy.h"
 
 namespace bhpo {
@@ -133,6 +137,56 @@ TEST(ShaTest, ParallelPoolMatchesSerialResult) {
   for (size_t i = 0; i < serial_result.history.size(); ++i) {
     EXPECT_DOUBLE_EQ(serial_result.history[i].score,
                      parallel_result.history[i].score);
+  }
+}
+
+// Full two-level parallelism (configs across the rung, folds within each
+// config, one shared pool) must give the same search result for any pool
+// size: per-candidate forked RNGs plus MixSeed-derived per-fold model seeds
+// make the outcome scheduling independent.
+TEST(ShaTest, TwoLevelParallelismIsPoolSizeInvariant) {
+  BlobsSpec spec;
+  spec.n = 100;
+  spec.num_features = 4;
+  spec.num_classes = 2;
+  spec.seed = 13;
+  Dataset data = MakeBlobs(spec).value().Standardized();
+
+  std::vector<Configuration> configs;
+  for (const char* lr : {"0.05", "0.01", "0.005", "0.001"}) {
+    Configuration config;
+    config.Set("hidden_layer_sizes", "(6)");
+    config.Set("learning_rate_init", lr);
+    configs.push_back(config);
+  }
+
+  auto run = [&](size_t threads) {
+    std::unique_ptr<ThreadPool> pool;
+    StrategyOptions strategy_options;
+    strategy_options.factory.max_iter = 8;
+    ShaOptions sha_options;
+    if (threads > 0) {
+      pool = std::make_unique<ThreadPool>(threads);
+      strategy_options.cv_pool = pool.get();
+      sha_options.pool = pool.get();
+    }
+    VanillaStrategy strategy(strategy_options);
+    SuccessiveHalving sha(configs, &strategy, sha_options);
+    Rng rng(21);
+    return sha.Optimize(data, &rng).value();
+  };
+
+  HpoResult base = run(0);  // No pool at all: fully serial reference.
+  for (size_t threads : {1u, 2u, 8u}) {
+    HpoResult result = run(threads);
+    EXPECT_TRUE(result.best_config == base.best_config)
+        << threads << " threads";
+    EXPECT_DOUBLE_EQ(result.best_score, base.best_score);
+    ASSERT_EQ(result.history.size(), base.history.size());
+    for (size_t i = 0; i < base.history.size(); ++i) {
+      EXPECT_DOUBLE_EQ(result.history[i].score, base.history[i].score)
+          << threads << " threads, eval " << i;
+    }
   }
 }
 

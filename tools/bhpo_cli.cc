@@ -56,7 +56,7 @@ search options:
   --metric auto|accuracy|f1|r2                  (default: auto)
   --max-iter N           epochs per model fit   (default: 40)
   --seed N               master seed            (default: 42)
-  --threads N            rung parallelism       (default: 1)
+  --threads N            rung + CV fold parallelism (default: 1)
 
 enhanced-method options (the trailing '+' variants):
   --groups V             number of groups       (default: 2)
@@ -162,6 +162,9 @@ Status RunCli(int argc, char** argv) {
   BHPO_ASSIGN_OR_RETURN(int threads, flags.GetInt("threads", 1));
   std::unique_ptr<ThreadPool> pool;
   if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  // Two-level parallelism on one shared pool: configurations across each
+  // rung and CV folds within each evaluation (ParallelFor is nested-safe).
+  options.cv_pool = pool.get();
 
   std::unique_ptr<EvalStrategy> strategy;
   if (enhanced) {
