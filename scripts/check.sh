@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus a sanitizer pass over the concurrency-sensitive pieces
+# (the evaluation cache and the thread pool).
+#
+# Usage: scripts/check.sh [--skip-asan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+skip_asan=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-asan) skip_asan=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: configure + build + ctest (Release) =="
+cmake --preset default
+cmake --build build -j"$jobs"
+ctest --test-dir build --output-on-failure
+
+if [[ "$skip_asan" == 1 ]]; then
+  echo "== sanitizer pass skipped (--skip-asan) =="
+  exit 0
+fi
+
+echo "== sanitizer: ASan+UBSan build of cache + thread-pool tests =="
+cmake --preset asan
+cmake --build build-asan -j"$jobs" --target bhpo_hpo_test bhpo_common_test
+
+./build-asan/tests/bhpo_hpo_test \
+  --gtest_filter='EvalCache*:CachingStrategy*:FoldCache*:CacheTransparency*'
+./build-asan/tests/bhpo_common_test --gtest_filter='*ThreadPool*'
+
+echo "All checks passed."

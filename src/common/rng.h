@@ -68,6 +68,16 @@ class Rng {
 
   std::mt19937_64& engine() { return engine_; }
 
+  // A deterministic 64-bit fingerprint of the current generator state: the
+  // next value the engine WOULD produce, computed on a copy so the stream
+  // itself does not advance. Two Rngs fingerprint equal iff they will
+  // produce the same stream, which is what lets the evaluation cache use a
+  // fingerprint as a stable subset identity (see hpo/eval_cache.h).
+  uint64_t StateFingerprint() const {
+    std::mt19937_64 copy = engine_;
+    return copy();
+  }
+
  private:
   std::mt19937_64 engine_;
 };

@@ -35,14 +35,28 @@ Result<CvOutcome> CrossValidate(const DatasetView& data, const FoldSet& folds,
   BHPO_RETURN_NOT_OK(folds.Validate(data.n()));
 
   size_t k = folds.num_folds();
-  enum class FoldState { kSkipped, kScored, kFailed };
 
   // Every fold writes only its own preallocated slot; the reduction below
   // walks slots in fold order, so the outcome is bit-identical whether the
   // folds ran serially or on a pool of any size.
-  std::vector<FoldState> states(k, FoldState::kSkipped);
+  std::vector<FoldStatus> states(k, FoldStatus::kSkipped);
   std::vector<double> scores(k, 0.0);
   std::vector<Status> fit_errors(k);
+
+  // Folds whose outcome the caller already knows (cache hits) are recorded
+  // up front; run_fold leaves them untouched, so only the delta folds pay
+  // for a model fit.
+  std::vector<bool> injected(k, false);
+  for (const PrecomputedFold& pre : options.precomputed) {
+    if (pre.fold >= k) continue;
+    injected[pre.fold] = true;
+    states[pre.fold] = pre.failed ? FoldStatus::kFailed : FoldStatus::kScored;
+    scores[pre.fold] = pre.failed ? 0.0 : pre.score;
+    if (pre.failed) {
+      fit_errors[pre.fold] =
+          Status::Internal("fold fit failure replayed from eval cache");
+    }
+  }
 
   // Fold-of-row table (folds are validated disjoint above): one linear scan
   // per fold then yields the train/val index lists in ascending order, so
@@ -54,6 +68,7 @@ Result<CvOutcome> CrossValidate(const DatasetView& data, const FoldSet& folds,
   }
 
   auto run_fold = [&](size_t f) {
+    if (injected[f]) return;
     if (folds.folds[f].empty()) return;
     std::vector<size_t> train_idx;
     train_idx.reserve(folds.TotalSize() - folds.folds[f].size());
@@ -79,12 +94,12 @@ Result<CvOutcome> CrossValidate(const DatasetView& data, const FoldSet& folds,
     BHPO_CHECK(model != nullptr);
     Status fit_status = model->Fit(train);
     if (!fit_status.ok()) {
-      states[f] = FoldState::kFailed;
+      states[f] = FoldStatus::kFailed;
       fit_errors[f] = fit_status;
       return;
     }
     scores[f] = EvaluateModel(*model, val, options.metric);
-    states[f] = FoldState::kScored;
+    states[f] = FoldStatus::kScored;
   };
 
   if (options.pool != nullptr) {
@@ -95,20 +110,25 @@ Result<CvOutcome> CrossValidate(const DatasetView& data, const FoldSet& folds,
 
   CvOutcome outcome;
   outcome.subset_size = folds.TotalSize();
+  outcome.folds.resize(k);
   bool any_attempted = false;
   for (size_t f = 0; f < k; ++f) {
+    outcome.folds[f].status = states[f];
     switch (states[f]) {
-      case FoldState::kScored:
+      case FoldStatus::kScored:
+        outcome.folds[f].score = scores[f];
         outcome.fold_scores.push_back(scores[f]);
         any_attempted = true;
         break;
-      case FoldState::kFailed:
-        BHPO_LOG(kInfo) << "fold " << f
-                        << " fit failed: " << fit_errors[f].ToString();
+      case FoldStatus::kFailed:
+        if (!injected[f]) {
+          BHPO_LOG(kInfo) << "fold " << f
+                          << " fit failed: " << fit_errors[f].ToString();
+        }
         ++outcome.failed_folds;
         any_attempted = true;
         break;
-      case FoldState::kSkipped:
+      case FoldStatus::kSkipped:
         break;
     }
   }

@@ -1,6 +1,7 @@
 #ifndef BHPO_CV_CROSS_VALIDATE_H_
 #define BHPO_CV_CROSS_VALIDATE_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -14,11 +15,28 @@
 
 namespace bhpo {
 
+// What happened to one fold of a CV round.
+enum class FoldStatus : uint8_t {
+  kSkipped = 0,  // Empty fold (or empty training complement): never run.
+  kScored = 1,   // Model fit and scored normally.
+  kFailed = 2,   // Training side failed to fit (e.g. diverged solver).
+};
+
+// Per-fold detail, index-aligned with the fold partition. `score` is only
+// meaningful when `status == kScored`.
+struct FoldOutcome {
+  double score = 0.0;
+  FoldStatus status = FoldStatus::kSkipped;
+};
+
 // Per-configuration cross-validation outcome: the raw fold scores plus the
 // mean/stddev the scoring layer consumes (Figure 2(g)->(h)).
 struct CvOutcome {
   // One entry per fold whose model fit succeeded, in fold order.
   std::vector<double> fold_scores;
+  // One entry per fold of the partition (including skipped/failed folds),
+  // in fold order — the per-fold view the evaluation cache memoizes.
+  std::vector<FoldOutcome> folds;
   double mean = 0.0;
   double stddev = 0.0;  // population standard deviation
   size_t subset_size = 0;
@@ -37,11 +55,24 @@ using ModelFactory = std::function<std::unique_ptr<Model>()>;
 // under fold-parallel evaluation.
 using FoldModelFactory = std::function<std::unique_ptr<Model>(size_t fold)>;
 
+// A fold whose outcome is already known (typically from the evaluation
+// cache): CrossValidate records it verbatim instead of training the fold's
+// model. Injecting the exact value a computation would have produced keeps
+// the outcome bit-identical to an uncached run while skipping the fit.
+struct PrecomputedFold {
+  size_t fold = 0;
+  double score = 0.0;
+  bool failed = false;
+};
+
 struct CvOptions {
   EvalMetric metric = EvalMetric::kAuto;
   // When non-null, folds are evaluated in parallel on this pool. Results
   // are bit-identical to the serial order regardless of pool size.
   ThreadPool* pool = nullptr;
+  // Folds to take as given rather than recompute. Entries with an
+  // out-of-range fold index are ignored.
+  std::vector<PrecomputedFold> precomputed;
 };
 
 // Runs k-fold CV over a fold partition of `data`: round f trains on the

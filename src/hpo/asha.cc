@@ -41,12 +41,17 @@ Result<HpoResult> Asha::Optimize(const Dataset& train, Rng* rng) {
   std::vector<std::vector<RungEntry>> rungs(rung_budget.size());
   HpoResult result;
   bool have_best = false;
+  // Evaluations draw from per-(config, budget) streams off this root, so a
+  // config re-evaluated at a rung budget it has already seen (promotion
+  // after a cap, duplicate sample) replays identically — and cache-ably.
+  uint64_t eval_root = rng->engine()();
 
   auto run_job = [&](const Configuration& config,
                      size_t rung) -> Status {
+    Rng eval_rng = PerEvalRng(eval_root, config, rung_budget[rung], train.n());
     BHPO_ASSIGN_OR_RETURN(
         EvalResult eval,
-        strategy_->Evaluate(config, train, rung_budget[rung], rng));
+        strategy_->Evaluate(config, train, rung_budget[rung], &eval_rng));
     rungs[rung].push_back({config, eval.score, false});
     result.history.push_back({config, eval.score, eval.budget_used});
     ++result.num_evaluations;

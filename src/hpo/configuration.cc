@@ -46,6 +46,17 @@ std::string Configuration::ToString() const {
   return out;
 }
 
+uint64_t Configuration::Hash() const {
+  // FNV-1a 64, fixed offset/prime so the hash is stable across runs and
+  // platforms (std::hash<std::string> guarantees neither).
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : Key()) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
 std::string Configuration::Key() const {
   std::vector<std::pair<std::string, std::string>> sorted = items_;
   std::sort(sorted.begin(), sorted.end());

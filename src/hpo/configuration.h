@@ -1,6 +1,7 @@
 #ifndef BHPO_HPO_CONFIGURATION_H_
 #define BHPO_HPO_CONFIGURATION_H_
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -37,6 +38,11 @@ class Configuration {
 
   // Canonical key (sorted by name) for dedup and hashing.
   std::string Key() const;
+
+  // 64-bit FNV-1a hash of Key(): a stable canonical identity that is
+  // independent of insertion order, suitable as an evaluation-cache key
+  // component and as a per-configuration RNG stream id.
+  uint64_t Hash() const;
 
   bool operator==(const Configuration& other) const {
     return Key() == other.Key();

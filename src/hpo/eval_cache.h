@@ -1,0 +1,191 @@
+#ifndef BHPO_HPO_EVAL_CACHE_H_
+#define BHPO_HPO_EVAL_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "common/check.h"
+#include "hpo/eval_strategy.h"
+
+namespace bhpo {
+
+// ---------------------------------------------------------------------------
+// EvalCache: a thread-safe memo of configuration-evaluation work.
+//
+// SHA-family optimizers (SHA, ASHA, Hyperband, BOHB, PASHA, DEHB) re-run a
+// surviving configuration's k-fold CV whenever the configuration comes up
+// again — a promotion to the clamped top rung, a duplicate sample in a later
+// Hyperband bracket, a DE mutant that regenerates its parent. Since PR 2
+// every evaluation's randomness is a pure function of
+// (run stream root, configuration canonical hash, clamped budget) — see
+// PerEvalRng in eval_strategy.h — so the same (config, budget) pair always
+// draws the same subset, fold partition and model seeds, and its fold
+// scores can be memoized and replayed bit-exactly.
+//
+// Two entry granularities share one capacity-bounded store:
+//  * fold entries, keyed (config hash, subset id, fold index): one CV
+//    fold's score (or its deterministic fit failure). Built-in strategies
+//    consult these through StrategyOptions::cache and only train the delta
+//    folds that are not cached yet.
+//  * result entries, keyed (config hash, subset id): a whole EvalResult.
+//    CachingStrategy (below) serves these without entering the inner
+//    strategy at all.
+//
+// The subset id is the Rng state fingerprint of the per-evaluation stream
+// (mixed with budget and n), NOT a hash of the sampled indices: the stream
+// determines the subset, the partition and every model seed, so the
+// fingerprint identifies strictly more than the index list — and costs a
+// copy of the engine instead of a pass over the subset.
+//
+// A cache must not be shared across datasets, strategies or strategy
+// options: those are deliberately not part of the key (the decorator wraps
+// exactly one strategy, and a CLI run optimizes exactly one train set).
+// ---------------------------------------------------------------------------
+
+struct EvalCacheOptions {
+  // Maximum resident entries (fold + result combined) before LRU eviction.
+  size_t capacity = 1 << 20;
+  // Lock shards; higher = less contention under rung-parallel evaluation.
+  size_t shards = 16;
+};
+
+// Monotonic counters since construction (or the last Clear).
+struct EvalCacheStats {
+  size_t fold_hits = 0;
+  size_t fold_misses = 0;
+  size_t result_hits = 0;
+  size_t result_misses = 0;
+  size_t insertions = 0;
+  size_t evictions = 0;
+  size_t entries = 0;  // Currently resident.
+
+  size_t hits() const { return fold_hits + result_hits; }
+  size_t misses() const { return fold_misses + result_misses; }
+  // Hit fraction over all lookups; 0 when nothing was looked up.
+  double hit_rate() const {
+    size_t total = hits() + misses();
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits()) /
+                            static_cast<double>(total);
+  }
+};
+
+class EvalCache {
+ public:
+  // One memoized CV fold: its score, or the fact that its fit failed
+  // deterministically.
+  struct FoldScore {
+    double score = 0.0;
+    bool failed = false;
+  };
+
+  explicit EvalCache(EvalCacheOptions options = {});
+
+  EvalCache(const EvalCache&) = delete;
+  EvalCache& operator=(const EvalCache&) = delete;
+
+  // Fold-granular entries (StrategyOptions::cache path).
+  std::optional<FoldScore> LookupFold(uint64_t config_hash,
+                                      uint64_t subset_id, uint32_t fold);
+  void InsertFold(uint64_t config_hash, uint64_t subset_id, uint32_t fold,
+                  const FoldScore& value);
+
+  // Whole-evaluation entries (CachingStrategy path).
+  std::optional<EvalResult> LookupResult(uint64_t config_hash,
+                                         uint64_t subset_id);
+  void InsertResult(uint64_t config_hash, uint64_t subset_id,
+                    const EvalResult& value);
+
+  EvalCacheStats Stats() const;
+
+  // Drops every entry and resets the counters.
+  void Clear();
+
+  size_t capacity() const { return options_.capacity; }
+
+ private:
+  struct Key {
+    uint64_t config_hash = 0;
+    uint64_t subset_id = 0;
+    uint32_t fold = 0;  // kResultFold marks a whole-result entry.
+
+    bool operator==(const Key& other) const {
+      return config_hash == other.config_hash &&
+             subset_id == other.subset_id && fold == other.fold;
+    }
+  };
+
+  struct KeyHash {
+    size_t operator()(const Key& key) const;
+  };
+
+  using Entry = std::variant<FoldScore, EvalResult>;
+
+  // Each shard is an independent LRU map: list front = most recent, and the
+  // map stores the list iterator for O(1) touch/evict.
+  struct Shard {
+    std::mutex mu;
+    std::list<std::pair<Key, Entry>> lru;
+    std::unordered_map<Key, std::list<std::pair<Key, Entry>>::iterator,
+                       KeyHash>
+        index;
+  };
+
+  static constexpr uint32_t kResultFold = 0xffffffffu;
+
+  Shard& ShardFor(const Key& key);
+  std::optional<Entry> Lookup(const Key& key);
+  void Insert(const Key& key, Entry entry);
+
+  EvalCacheOptions options_;
+  size_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::mutex stats_mu_;
+  EvalCacheStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// CachingStrategy: EvalStrategy decorator that memoizes whole evaluations.
+//
+// Works over ANY strategy (vanilla, enhanced, test doubles) without touching
+// its internals: the incoming Rng's state fingerprint identifies everything
+// the inner evaluation will do, so a stored EvalResult can be replayed
+// bit-exactly whenever the same (config, rng state, budget) recurs. On a
+// miss the inner strategy runs (its own fold-level cache, if wired through
+// StrategyOptions, still saves delta folds) and the result is stored.
+//
+// Thread-safe for concurrent Evaluate calls iff the inner strategy is.
+// ---------------------------------------------------------------------------
+class CachingStrategy : public EvalStrategy {
+ public:
+  // Neither pointer is owned; both must outlive the decorator.
+  CachingStrategy(EvalStrategy* inner, EvalCache* cache)
+      : inner_(inner), cache_(cache) {
+    BHPO_CHECK(inner != nullptr);
+    BHPO_CHECK(cache != nullptr);
+  }
+
+  Result<EvalResult> Evaluate(const Configuration& config,
+                              const Dataset& train, size_t budget,
+                              Rng* rng) override;
+
+  std::string name() const override { return inner_->name() + "+cache"; }
+
+  EvalCache* cache() const { return cache_; }
+
+ private:
+  EvalStrategy* inner_;
+  EvalCache* cache_;
+};
+
+}  // namespace bhpo
+
+#endif  // BHPO_HPO_EVAL_CACHE_H_

@@ -6,12 +6,34 @@
 #include "cv/stratified_kfold.h"
 #include "cv/kfold.h"
 #include "data/split.h"
+#include "hpo/eval_cache.h"
 
 namespace bhpo {
 
 size_t ClampBudget(size_t budget, size_t n, size_t num_folds) {
-  size_t floor = std::min(n, 2 * num_folds);
+  if (n == 0) return 0;
+  size_t k = std::max<size_t>(num_folds, 1);
+  // floor = min(n, 2k) without computing 2k (which can overflow size_t):
+  // k > n/2 (integer division) iff 2k > n for even n and 2k >= n for odd n;
+  // in both cases min(n, 2k) == n.
+  size_t floor = (k > n / 2) ? n : 2 * k;
   return std::max(floor, std::min(budget, n));
+}
+
+Rng PerEvalRng(uint64_t eval_root, const Configuration& config, size_t budget,
+               size_t n) {
+  // Fold the budget at n so every over-asked budget (common at the top
+  // rung) shares the full-budget stream — and therefore its cache entry.
+  size_t effective = std::min(budget, n);
+  return Rng(MixSeed(MixSeed(eval_root, config.Hash()), effective));
+}
+
+uint64_t EvalSubsetId(const Rng& rng, size_t budget, size_t n) {
+  // The budget and n are mixed in on top of the stream fingerprint because
+  // a decorator may see arbitrary caller streams: the same rng state asked
+  // to evaluate at a different budget is a different evaluation.
+  size_t effective = std::min(budget, n);
+  return MixSeed(MixSeed(rng.StateFingerprint(), effective), n);
 }
 
 namespace {
@@ -31,6 +53,48 @@ std::vector<size_t> AllIndices(size_t n) {
   return idx;
 }
 
+// Injects every fold already cached under (config_hash, subset_id) into
+// cv_options->precomputed so CrossValidate skips those fits. Returns the
+// injected mask (all false when there is no cache).
+std::vector<bool> InjectCachedFolds(EvalCache* cache, uint64_t config_hash,
+                                    uint64_t subset_id, size_t k,
+                                    CvOptions* cv_options) {
+  std::vector<bool> injected(k, false);
+  if (cache == nullptr) return injected;
+  for (size_t f = 0; f < k; ++f) {
+    std::optional<EvalCache::FoldScore> hit =
+        cache->LookupFold(config_hash, subset_id, static_cast<uint32_t>(f));
+    if (!hit.has_value()) continue;
+    cv_options->precomputed.push_back(
+        PrecomputedFold{f, hit->score, hit->failed});
+    injected[f] = true;
+  }
+  return injected;
+}
+
+// Stores the folds this evaluation actually computed and fills the
+// result's hit/miss counters. Skipped (empty) folds cost nothing and are
+// not cached.
+void StoreComputedFolds(EvalCache* cache, uint64_t config_hash,
+                        uint64_t subset_id, const std::vector<bool>& injected,
+                        EvalResult* result) {
+  if (cache == nullptr) return;
+  const std::vector<FoldOutcome>& folds = result->cv.folds;
+  for (size_t f = 0; f < folds.size(); ++f) {
+    if (folds[f].status == FoldStatus::kSkipped) continue;
+    if (f < injected.size() && injected[f]) {
+      ++result->cache_fold_hits;
+      continue;
+    }
+    ++result->cache_fold_misses;
+    EvalCache::FoldScore value;
+    value.score = folds[f].score;
+    value.failed = folds[f].status == FoldStatus::kFailed;
+    cache->InsertFold(config_hash, subset_id, static_cast<uint32_t>(f),
+                      value);
+  }
+}
+
 }  // namespace
 
 Result<EvalResult> VanillaStrategy::Evaluate(const Configuration& config,
@@ -38,6 +102,12 @@ Result<EvalResult> VanillaStrategy::Evaluate(const Configuration& config,
                                              size_t budget, Rng* rng) {
   if (rng == nullptr) return Status::InvalidArgument("null rng");
   size_t b = ClampBudget(budget, train.n(), options_.num_folds);
+
+  // Cache identity must capture the PRE-evaluation rng state — everything
+  // below (subset, partition, model seeds) is a pure function of it.
+  uint64_t config_hash = options_.cache ? config.Hash() : 0;
+  uint64_t subset_id =
+      options_.cache ? EvalSubsetId(*rng, budget, train.n()) : 0;
 
   std::vector<size_t> subset;
   if (b >= train.n()) {
@@ -67,6 +137,8 @@ Result<EvalResult> VanillaStrategy::Evaluate(const Configuration& config,
   CvOptions cv_options;
   cv_options.metric = options_.metric;
   cv_options.pool = options_.cv_pool;
+  std::vector<bool> injected = InjectCachedFolds(
+      options_.cache, config_hash, subset_id, folds.num_folds(), &cv_options);
   BHPO_ASSIGN_OR_RETURN(
       CvOutcome cv,
       CrossValidate(DatasetView(train), folds, factory, cv_options));
@@ -77,6 +149,8 @@ Result<EvalResult> VanillaStrategy::Evaluate(const Configuration& config,
   result.gamma_percent =
       100.0 * static_cast<double>(b) / static_cast<double>(train.n());
   result.score = result.cv.mean;  // Vanilla metric: mean only.
+  StoreComputedFolds(options_.cache, config_hash, subset_id, injected,
+                     &result);
   return result;
 }
 
@@ -106,6 +180,10 @@ Result<EvalResult> EnhancedStrategy::Evaluate(const Configuration& config,
   }
   size_t b = ClampBudget(budget, train.n(), options_.num_folds);
 
+  uint64_t config_hash = options_.cache ? config.Hash() : 0;
+  uint64_t subset_id =
+      options_.cache ? EvalSubsetId(*rng, budget, train.n()) : 0;
+
   std::vector<size_t> subset = b >= train.n()
                                    ? AllIndices(train.n())
                                    : SampleFromGroups(grouping_, b, rng);
@@ -119,6 +197,8 @@ Result<EvalResult> EnhancedStrategy::Evaluate(const Configuration& config,
   CvOptions cv_options;
   cv_options.metric = options_.metric;
   cv_options.pool = options_.cv_pool;
+  std::vector<bool> injected = InjectCachedFolds(
+      options_.cache, config_hash, subset_id, folds.num_folds(), &cv_options);
   BHPO_ASSIGN_OR_RETURN(
       CvOutcome cv,
       CrossValidate(DatasetView(train), folds, factory, cv_options));
@@ -131,6 +211,8 @@ Result<EvalResult> EnhancedStrategy::Evaluate(const Configuration& config,
   // Equation 3 when scoring_.use_variance is set (the default for the full
   // method); plain mean otherwise (the Figure 7 ablation).
   result.score = ScoreOutcome(result.cv, result.gamma_percent, scoring_);
+  StoreComputedFolds(options_.cache, config_hash, subset_id, injected,
+                     &result);
   return result;
 }
 

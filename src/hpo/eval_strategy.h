@@ -16,6 +16,8 @@
 
 namespace bhpo {
 
+class EvalCache;
+
 // Outcome of evaluating one configuration under a budget of b_t instances.
 struct EvalResult {
   CvOutcome cv;
@@ -25,6 +27,13 @@ struct EvalResult {
   double gamma_percent = 0.0;
   // Instances actually used (budget after clamping).
   size_t budget_used = 0;
+  // Evaluation-cache accounting for THIS evaluation: folds whose score was
+  // replayed from the cache vs. folds that paid for a model fit, and
+  // whether the whole result was served by a CachingStrategy decorator
+  // (in which case the fold counters are the stored evaluation's).
+  size_t cache_fold_hits = 0;
+  size_t cache_fold_misses = 0;
+  bool cache_result_hit = false;
 };
 
 // Shared knobs of both strategies.
@@ -38,6 +47,11 @@ struct StrategyOptions {
   // The pool may be the same one the optimizer spreads configurations over
   // (ParallelFor nests safely); results are identical to serial execution.
   ThreadPool* cv_pool = nullptr;
+  // When non-null, per-fold scores are memoized here: folds already cached
+  // for this (config, subset) are injected via CvOptions::precomputed
+  // instead of retrained, and fresh folds are inserted after CV. The
+  // outcome is bit-identical with the cache on or off. Not owned.
+  EvalCache* cache = nullptr;
 };
 
 // How a bandit-based optimizer evaluates one configuration: sample a subset
@@ -112,9 +126,31 @@ class EnhancedStrategy : public EvalStrategy {
   StrategyOptions options_;
 };
 
-// Clamps a requested budget to something cross-validatable:
-// [2 * num_folds, n].
+// Clamps a requested budget to something cross-validatable. The floor is
+// 2 * num_folds (so every fold holds at least 2 instances and no training
+// complement is empty) unless the dataset itself is too small, in which
+// case the whole dataset is used; the ceiling is n. num_folds == 0 is
+// treated as 1, and the floor saturates instead of overflowing.
 size_t ClampBudget(size_t budget, size_t n, size_t num_folds);
+
+// The deterministic RNG stream for one (configuration, budget) evaluation.
+// `eval_root` is drawn once per optimizer run; the returned stream is a
+// pure function of (root, config canonical hash, clamped budget), so:
+//  * evaluations are independent of scheduling order and pool size, and
+//  * re-evaluating the same configuration at the same effective budget
+//    replays the identical subset, folds and model seeds — which is what
+//    makes whole evaluations cacheable bit-exactly.
+Rng PerEvalRng(uint64_t eval_root, const Configuration& config, size_t budget,
+               size_t n);
+
+// The cache's subset identity for an evaluation that is about to consume
+// `rng`: a fingerprint of the stream state mixed with the effective budget.
+// Because the stream determines the sampled subset, the fold partition and
+// every model seed, equal subset ids imply bit-identical evaluations. Both
+// the strategies (fold-level cache) and the CachingStrategy decorator
+// compute this from the SAME pre-evaluation rng state, so their entries
+// agree without sharing any plumbing. Does not advance `rng`.
+uint64_t EvalSubsetId(const Rng& rng, size_t budget, size_t n);
 
 }  // namespace bhpo
 

@@ -26,6 +26,10 @@ Result<HpoResult> Hyperband::Optimize(const Dataset& train, Rng* rng) {
 
   HpoResult result;
   bool have_best = false;
+  // Shared across ALL brackets: a configuration re-sampled in a later
+  // bracket replays the same per-(config, budget) evaluation streams, so a
+  // wired-in evaluation cache serves those repeats without retraining.
+  uint64_t eval_root = rng->engine()();
 
   for (int s = s_max; s >= 0; --s) {
     // Bracket s: n_s configurations starting at budget R * eta^-s.
@@ -45,7 +49,7 @@ Result<HpoResult> Hyperband::Optimize(const Dataset& train, Rng* rng) {
 
       BHPO_ASSIGN_OR_RETURN(
           std::vector<EvalResult> evals,
-          EvaluateBatch(strategy_, configs, train, budget, rng,
+          EvaluateBatch(strategy_, configs, train, budget, eval_root,
                         options_.pool));
       std::vector<double> scores(configs.size());
       for (size_t c = 0; c < configs.size(); ++c) {

@@ -6,10 +6,15 @@ Result<HpoResult> RandomSearch::Optimize(const Dataset& train, Rng* rng) {
   if (rng == nullptr) return Status::InvalidArgument("null rng");
   HpoResult result;
   bool have_best = false;
+  // Per-(config, budget) evaluation streams: a duplicate sample replays
+  // (and cache-hits) its earlier evaluation instead of re-rolling it.
+  uint64_t eval_root = rng->engine()();
   for (size_t i = 0; i < num_samples_; ++i) {
     Configuration config = space_->Sample(rng);
-    BHPO_ASSIGN_OR_RETURN(EvalResult eval,
-                          strategy_->Evaluate(config, train, train.n(), rng));
+    Rng eval_rng = PerEvalRng(eval_root, config, train.n(), train.n());
+    BHPO_ASSIGN_OR_RETURN(
+        EvalResult eval,
+        strategy_->Evaluate(config, train, train.n(), &eval_rng));
     result.history.push_back({config, eval.score, eval.budget_used});
     ++result.num_evaluations;
     result.total_instances += eval.budget_used;

@@ -20,16 +20,14 @@ std::vector<size_t> TopIndicesByScore(const std::vector<double>& scores,
 
 Result<std::vector<EvalResult>> EvaluateBatch(
     EvalStrategy* strategy, const std::vector<Configuration>& configs,
-    const Dataset& train, size_t budget, Rng* rng, ThreadPool* pool) {
-  // Fork one RNG per candidate up front: the evaluation order (and hence
-  // the result) is then independent of scheduling.
-  std::vector<Rng> rngs;
-  rngs.reserve(configs.size());
-  for (size_t i = 0; i < configs.size(); ++i) rngs.push_back(rng->Fork());
-
+    const Dataset& train, size_t budget, uint64_t eval_root,
+    ThreadPool* pool) {
   std::vector<std::optional<Result<EvalResult>>> raw(configs.size());
   auto evaluate_one = [&](size_t i) {
-    raw[i] = strategy->Evaluate(configs[i], train, budget, &rngs[i]);
+    // Each evaluation owns a stream derived from (root, config, budget) —
+    // independent of scheduling, pool size, and position in the batch.
+    Rng eval_rng = PerEvalRng(eval_root, configs[i], budget, train.n());
+    raw[i] = strategy->Evaluate(configs[i], train, budget, &eval_rng);
   };
   if (pool != nullptr && configs.size() > 1) {
     pool->ParallelFor(configs.size(), evaluate_one);
@@ -54,13 +52,16 @@ Result<HpoResult> SuccessiveHalving::Optimize(const Dataset& train, Rng* rng) {
   std::vector<Configuration> survivors = candidates_;
   size_t total_budget = train.n();  // B = n (Table I).
   double last_best_score = 0.0;
+  // One stream root for the whole run; every evaluation's randomness is
+  // PerEvalRng(root, config, budget) from here on.
+  uint64_t eval_root = rng->engine()();
 
   while (survivors.size() > 1) {
     size_t per_config = std::max<size_t>(1, total_budget / survivors.size());
 
     BHPO_ASSIGN_OR_RETURN(
         std::vector<EvalResult> evals,
-        EvaluateBatch(strategy_, survivors, train, per_config, rng,
+        EvaluateBatch(strategy_, survivors, train, per_config, eval_root,
                       options_.pool));
     std::vector<double> scores(survivors.size());
     for (size_t i = 0; i < survivors.size(); ++i) {
@@ -86,9 +87,11 @@ Result<HpoResult> SuccessiveHalving::Optimize(const Dataset& train, Rng* rng) {
   result.best_config = survivors.front();
   if (candidates_.size() == 1) {
     // Degenerate space: score the lone candidate at full budget.
+    Rng eval_rng =
+        PerEvalRng(eval_root, result.best_config, train.n(), train.n());
     BHPO_ASSIGN_OR_RETURN(
         EvalResult eval,
-        strategy_->Evaluate(result.best_config, train, train.n(), rng));
+        strategy_->Evaluate(result.best_config, train, train.n(), &eval_rng));
     last_best_score = eval.score;
     result.history.push_back(
         {result.best_config, eval.score, eval.budget_used});

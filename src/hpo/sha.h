@@ -55,11 +55,17 @@ std::vector<size_t> TopIndicesByScore(const std::vector<double>& scores,
                                       size_t keep);
 
 // Evaluates a rung of configurations at one budget, serially or on the
-// pool (see ShaOptions::pool for the threading contract). Deterministic
-// for a fixed `rng` state regardless of thread count.
+// pool (see ShaOptions::pool for the threading contract). Each evaluation
+// runs on PerEvalRng(eval_root, config, budget, n): a pure function of the
+// root, the configuration and the budget, so results are deterministic
+// regardless of thread count AND identical whenever the same
+// (config, budget) pair recurs — within a rung, across Hyperband brackets,
+// or across the whole run — which is what the evaluation cache exploits.
+// `eval_root` is drawn once per optimizer run from the master rng.
 Result<std::vector<EvalResult>> EvaluateBatch(
     EvalStrategy* strategy, const std::vector<Configuration>& configs,
-    const Dataset& train, size_t budget, Rng* rng, ThreadPool* pool);
+    const Dataset& train, size_t budget, uint64_t eval_root,
+    ThreadPool* pool);
 
 }  // namespace bhpo
 

@@ -26,10 +26,14 @@ Result<HpoResult> Smac::Optimize(const Dataset& train, Rng* rng) {
   bool have_best = false;
   std::vector<std::vector<double>> observed_encodings;
   std::vector<double> observed_scores;
+  // Per-(config, budget) evaluation streams; see eval_strategy.h.
+  uint64_t eval_root = rng->engine()();
 
   auto evaluate = [&](const Configuration& config) -> Status {
-    BHPO_ASSIGN_OR_RETURN(EvalResult eval,
-                          strategy_->Evaluate(config, train, train.n(), rng));
+    Rng eval_rng = PerEvalRng(eval_root, config, train.n(), train.n());
+    BHPO_ASSIGN_OR_RETURN(
+        EvalResult eval,
+        strategy_->Evaluate(config, train, train.n(), &eval_rng));
     observed_encodings.push_back(space_->Encode(config));
     observed_scores.push_back(eval.score);
     result.history.push_back({config, eval.score, eval.budget_used});

@@ -7,10 +7,14 @@ Result<HpoResult> TpeSearch::Optimize(const Dataset& train, Rng* rng) {
 
   HpoResult result;
   bool have_best = false;
+  // Per-(config, budget) evaluation streams; see eval_strategy.h.
+  uint64_t eval_root = rng->engine()();
   for (size_t iter = 0; iter < options_.num_iterations; ++iter) {
     Configuration config = sampler_.Sample(rng);
-    BHPO_ASSIGN_OR_RETURN(EvalResult eval,
-                          strategy_->Evaluate(config, train, train.n(), rng));
+    Rng eval_rng = PerEvalRng(eval_root, config, train.n(), train.n());
+    BHPO_ASSIGN_OR_RETURN(
+        EvalResult eval,
+        strategy_->Evaluate(config, train, train.n(), &eval_rng));
     sampler_.Observe(config, eval.score, eval.budget_used);
     result.history.push_back({config, eval.score, eval.budget_used});
     ++result.num_evaluations;

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "hpo/scoring.h"
 
 namespace bhpo {
@@ -59,6 +60,81 @@ TEST(BetaWeightTest, SmallerBetaMaxNarrowsTheRange) {
   EXPECT_GT(BetaGammaMin(2.0), BetaGammaMin(10.0));
   EXPECT_LT(BetaGammaMax(2.0), BetaGammaMax(10.0));
   EXPECT_NEAR(BetaWeight(50.0, 2.0), 1.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: the Equation 2 invariants must hold for ANY beta_max, not
+// just the paper's 10.0, so each property is checked over a randomized
+// beta_max sweep (fixed seed: the sweep is reproducible).
+// ---------------------------------------------------------------------------
+
+TEST(BetaWeightPropertyTest, MonotoneNonIncreasingForAnyBetaMax) {
+  Rng rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    double beta_max = rng.Uniform(0.1, 20.0);
+    double prev = BetaWeight(0.0, beta_max);
+    for (double g = 0.25; g <= 100.0; g += 0.25) {
+      double b = BetaWeight(g, beta_max);
+      EXPECT_LE(b, prev + 1e-12)
+          << "beta_max=" << beta_max << " gamma=" << g;
+      prev = b;
+    }
+  }
+}
+
+TEST(BetaWeightPropertyTest, ClipsExactlyAtPaperThresholds) {
+  Rng rng(456);
+  for (int trial = 0; trial < 50; ++trial) {
+    double beta_max = rng.Uniform(0.5, 16.0);
+    // The thresholds are exactly the paper's closed forms.
+    double gamma_min = 50.0 * (1.0 - std::tanh(beta_max / 4.0));
+    double gamma_max = 50.0 * (1.0 + std::tanh(beta_max / 4.0));
+    EXPECT_DOUBLE_EQ(BetaGammaMin(beta_max), gamma_min);
+    EXPECT_DOUBLE_EQ(BetaGammaMax(beta_max), gamma_max);
+
+    // Saturation values: beta_max at/below gamma_min, 0 at/above gamma_max.
+    EXPECT_NEAR(BetaWeight(gamma_min, beta_max), beta_max, 1e-9);
+    EXPECT_NEAR(BetaWeight(gamma_max, beta_max), 0.0, 1e-9);
+
+    // Clipping is EXACT: any gamma beyond a threshold yields the bitwise
+    // same weight as the threshold itself.
+    EXPECT_EQ(BetaWeight(gamma_min * 0.5, beta_max),
+              BetaWeight(gamma_min, beta_max));
+    EXPECT_EQ(BetaWeight(-3.0, beta_max), BetaWeight(gamma_min, beta_max));
+    EXPECT_EQ(BetaWeight(gamma_max + 0.5 * (100.0 - gamma_max), beta_max),
+              BetaWeight(gamma_max, beta_max));
+    EXPECT_EQ(BetaWeight(250.0, beta_max), BetaWeight(gamma_max, beta_max));
+  }
+}
+
+TEST(BetaWeightPropertyTest, RangeIsZeroToBetaMax) {
+  Rng rng(789);
+  for (int trial = 0; trial < 200; ++trial) {
+    double beta_max = rng.Uniform(0.1, 20.0);
+    double gamma = rng.Uniform(-10.0, 110.0);
+    double b = BetaWeight(gamma, beta_max);
+    EXPECT_GE(b, -1e-9) << "beta_max=" << beta_max << " gamma=" << gamma;
+    EXPECT_LE(b, beta_max + 1e-9)
+        << "beta_max=" << beta_max << " gamma=" << gamma;
+  }
+}
+
+TEST(ScoreOutcomePropertyTest, ScoreEqualsMeanWhenAlphaIsZero) {
+  // Equation 3 degenerates to s = mu at alpha = 0 for every subset size,
+  // spread and beta_max.
+  Rng rng(1011);
+  for (int trial = 0; trial < 100; ++trial) {
+    CvOutcome cv;
+    cv.mean = rng.Uniform(-1.0, 1.0);
+    cv.stddev = rng.Uniform(0.0, 0.5);
+    ScoringOptions opts;
+    opts.use_variance = true;
+    opts.alpha = 0.0;
+    opts.beta_max = rng.Uniform(0.1, 20.0);
+    double gamma = rng.Uniform(0.0, 100.0);
+    EXPECT_DOUBLE_EQ(ScoreOutcome(cv, gamma, opts), cv.mean)
+        << "trial " << trial;
+  }
 }
 
 TEST(ScoreOutcomeTest, VanillaIsMeanOnly) {

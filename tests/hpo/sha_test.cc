@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "data/synthetic.h"
+#include "hpo/eval_cache.h"
 #include "hpo/eval_strategy.h"
 #include "tests/hpo/fake_strategy.h"
 
@@ -185,6 +186,63 @@ TEST(ShaTest, TwoLevelParallelismIsPoolSizeInvariant) {
     ASSERT_EQ(result.history.size(), base.history.size());
     for (size_t i = 0; i < base.history.size(); ++i) {
       EXPECT_DOUBLE_EQ(result.history[i].score, base.history[i].score)
+          << threads << " threads, eval " << i;
+    }
+  }
+}
+
+// Cache on vs off must be invisible in the results: same incumbent, same
+// score, same history, at any pool size. Exercises both cache layers (the
+// fold-level cache inside VanillaStrategy and the CachingStrategy
+// decorator) against real model training.
+TEST(ShaTest, CacheOnMatchesCacheOffBitExactly) {
+  BlobsSpec spec;
+  spec.n = 100;
+  spec.num_features = 4;
+  spec.num_classes = 2;
+  spec.seed = 13;
+  Dataset data = MakeBlobs(spec).value().Standardized();
+
+  std::vector<Configuration> configs;
+  for (const char* lr : {"0.05", "0.01", "0.005", "0.001"}) {
+    Configuration config;
+    config.Set("hidden_layer_sizes", "(6)");
+    config.Set("learning_rate_init", lr);
+    configs.push_back(config);
+  }
+
+  auto run = [&](bool use_cache, size_t threads) {
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+    EvalCache cache;
+    StrategyOptions strategy_options;
+    strategy_options.factory.max_iter = 8;
+    strategy_options.cv_pool = pool.get();
+    if (use_cache) strategy_options.cache = &cache;
+    VanillaStrategy inner(strategy_options);
+    std::unique_ptr<CachingStrategy> caching;
+    EvalStrategy* strategy = &inner;
+    if (use_cache) {
+      caching = std::make_unique<CachingStrategy>(&inner, &cache);
+      strategy = caching.get();
+    }
+    ShaOptions sha_options;
+    sha_options.pool = pool.get();
+    SuccessiveHalving sha(configs, strategy, sha_options);
+    Rng rng(21);
+    return sha.Optimize(data, &rng).value();
+  };
+
+  for (size_t threads : {1u, 8u}) {
+    HpoResult off = run(false, threads);
+    HpoResult on = run(true, threads);
+    EXPECT_TRUE(off.best_config == on.best_config) << threads << " threads";
+    EXPECT_EQ(off.best_score, on.best_score) << threads << " threads";
+    ASSERT_EQ(off.history.size(), on.history.size());
+    for (size_t i = 0; i < off.history.size(); ++i) {
+      EXPECT_EQ(off.history[i].score, on.history[i].score)
+          << threads << " threads, eval " << i;
+      EXPECT_EQ(off.history[i].budget, on.history[i].budget)
           << threads << " threads, eval " << i;
     }
   }

@@ -73,6 +73,36 @@ TEST(PaperF1Test, BinaryUsesPositiveClassF1) {
                    BinaryF1(actual, predicted));
 }
 
+// Single-class edge cases: degenerate folds (e.g. a tiny stratified fold
+// that ends up all one label) must score without dividing by zero.
+TEST(AccuracyTest, SingleClassDataset) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 1, 1}, {1, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy({1, 1, 1}, {0, 1, 1}), 2.0 / 3.0);
+}
+
+TEST(BinaryF1Test, AllPositiveSingleClass) {
+  // tp=3, fp=0, fn=0 -> precision = recall = 1.
+  EXPECT_DOUBLE_EQ(BinaryF1({1, 1, 1}, {1, 1, 1}), 1.0);
+  // Positives exist but none predicted: tp=0 -> F1 = 0, not NaN.
+  EXPECT_DOUBLE_EQ(BinaryF1({1, 1, 1}, {0, 0, 0}), 0.0);
+}
+
+TEST(MacroF1Test, SingleClassDatasetHalvesTheMacroAverage) {
+  // Only class 1 appears; class 0 (absent from both sides) contributes 0,
+  // so the two-class macro average is (0 + 1) / 2.
+  EXPECT_NEAR(MacroF1({1, 1, 1}, {1, 1, 1}, 2), 0.5, 1e-12);
+  // Symmetric case: only class 0 appears.
+  EXPECT_NEAR(MacroF1({0, 0}, {0, 0}, 2), 0.5, 1e-12);
+}
+
+TEST(PaperF1Test, SingleClassBinaryMatchesBinaryF1) {
+  std::vector<int> actual = {1, 1, 1};
+  std::vector<int> all_negative = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(PaperF1(actual, actual, 2), BinaryF1(actual, actual));
+  EXPECT_DOUBLE_EQ(PaperF1(actual, all_negative, 2),
+                   BinaryF1(actual, all_negative));
+}
+
 TEST(PaperF1Test, MulticlassUsesMacro) {
   std::vector<int> actual = {0, 1, 2};
   std::vector<int> predicted = {0, 2, 1};

@@ -59,6 +59,43 @@ TEST(NdcgTest, AtKLimitsEvaluation) {
   EXPECT_LT(Ndcg(scores, relevance), 1.0);
 }
 
+TEST(NdcgTest, TiedRelevancesAreOrderInsensitive) {
+  // Two items share relevance 2.0; swapping their predicted order must not
+  // change the score, and ranking both above the rel-1 item is ideal.
+  std::vector<double> relevance = {2.0, 2.0, 1.0};
+  std::vector<double> tied_first = {0.9, 0.8, 0.1};
+  std::vector<double> tied_swapped = {0.8, 0.9, 0.1};
+  EXPECT_DOUBLE_EQ(Ndcg(tied_first, relevance), 1.0);
+  EXPECT_DOUBLE_EQ(Ndcg(tied_swapped, relevance), 1.0);
+}
+
+TEST(NdcgTest, TiedRelevancesBelowAnInterloper) {
+  // Ranking the rel-1 item above the tied rel-3 pair costs exactly the
+  // hand-computed gap.
+  std::vector<double> relevance = {3.0, 3.0, 1.0};
+  std::vector<double> scores = {0.5, 0.4, 0.9};  // Item 2 ranked first.
+  double dcg = 1.0 / std::log2(2.0) + 3.0 / std::log2(3.0) +
+               3.0 / std::log2(4.0);
+  double idcg = 3.0 / std::log2(2.0) + 3.0 / std::log2(3.0) +
+                1.0 / std::log2(4.0);
+  EXPECT_NEAR(Ndcg(scores, relevance), dcg / idcg, 1e-12);
+}
+
+TEST(NdcgTest, KBeyondListLengthEqualsFullList) {
+  std::vector<double> scores = {0.1, 0.5, 0.9};
+  std::vector<double> relevance = {3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(Ndcg(scores, relevance, 10),
+                   Ndcg(scores, relevance));
+  EXPECT_DOUBLE_EQ(Ndcg(scores, relevance, 3),
+                   Ndcg(scores, relevance, 1000));
+}
+
+TEST(NdcgTest, KBeyondLengthWithTiesStaysOne) {
+  std::vector<double> scores = {0.2, 0.7};
+  std::vector<double> relevance = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(Ndcg(scores, relevance, 99), 1.0);
+}
+
 TEST(NdcgTest, EmptyInputIsZero) {
   EXPECT_DOUBLE_EQ(Ndcg({}, {}), 0.0);
 }

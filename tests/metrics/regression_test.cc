@@ -41,6 +41,23 @@ TEST(R2Test, KnownIntermediateValue) {
   EXPECT_NEAR(R2Score(actual, pred), 1.0 - 1.0 / 5.0, 1e-12);
 }
 
+TEST(R2Test, ConstantActualWithWrongPredictionsStillZero) {
+  // ss_tot = 0: there is no variance to explain, so R2 is pinned to 0
+  // rather than -inf/NaN even when the predictions are off.
+  EXPECT_DOUBLE_EQ(R2Score({5, 5, 5}, {4, 6, 5}), 0.0);
+  EXPECT_DOUBLE_EQ(R2Score({0, 0, 0}, {100, 100, 100}), 0.0);
+}
+
+TEST(RegressionMetricsTest, ConstantTargets) {
+  // A regressor that nails a constant target is simply perfect under the
+  // error metrics...
+  EXPECT_DOUBLE_EQ(MeanSquaredError({2, 2, 2}, {2, 2, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({2, 2, 2}, {2, 2, 2}), 0.0);
+  // ...and a constant miss shows up undamped.
+  EXPECT_DOUBLE_EQ(MeanSquaredError({2, 2}, {3, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({2, 2}, {3, 1}), 1.0);
+}
+
 TEST(RegressionMetricsTest, EmptyInputsAreZero) {
   EXPECT_DOUBLE_EQ(MeanSquaredError({}, {}), 0.0);
   EXPECT_DOUBLE_EQ(MeanAbsoluteError({}, {}), 0.0);

@@ -21,6 +21,7 @@
 #include "hpo/asha.h"
 #include "hpo/bohb.h"
 #include "hpo/dehb.h"
+#include "hpo/eval_cache.h"
 #include "hpo/hyperband.h"
 #include "hpo/pasha.h"
 #include "hpo/random_search.h"
@@ -47,6 +48,13 @@ data options:
 output options:
   --save-model PATH      persist the final trained model (reload with
                          LoadModelFromFile)
+  --json PATH            write a JSON run summary (scores, timings and
+                         evaluation-cache hit/miss counters)
+
+cache options:
+  --cache N              evaluation-cache capacity in entries; repeated
+                         (config, budget) evaluations replay cached fold
+                         scores bit-exactly. 0 disables (default: 1048576)
 
 search options:
   --method M             random | sha | sha+ | hb | hb+ | bohb | bohb+ |
@@ -166,6 +174,20 @@ Status RunCli(int argc, char** argv) {
   // rung and CV folds within each evaluation (ParallelFor is nested-safe).
   options.cv_pool = pool.get();
 
+  BHPO_ASSIGN_OR_RETURN(int cache_capacity, flags.GetInt("cache", 1 << 20));
+  if (cache_capacity < 0) {
+    return Status::InvalidArgument("--cache must be >= 0");
+  }
+  std::unique_ptr<EvalCache> cache;
+  if (cache_capacity > 0) {
+    EvalCacheOptions cache_options;
+    cache_options.capacity = static_cast<size_t>(cache_capacity);
+    cache = std::make_unique<EvalCache>(cache_options);
+  }
+  // Fold-level reuse inside the strategy; whole-result reuse via the
+  // decorator below. Both layers share the one cache and its counters.
+  options.cache = cache.get();
+
   std::unique_ptr<EvalStrategy> strategy;
   if (enhanced) {
     GroupingOptions grouping;
@@ -189,6 +211,14 @@ Status RunCli(int argc, char** argv) {
   } else {
     strategy = std::make_unique<VanillaStrategy>(options);
   }
+  std::unique_ptr<CachingStrategy> caching;
+  EvalStrategy* eval = strategy.get();
+  if (cache != nullptr) {
+    caching = std::make_unique<CachingStrategy>(strategy.get(), cache.get());
+    eval = caching.get();
+  }
+
+  std::string json_path = flags.GetString("json", "");
   BHPO_RETURN_NOT_OK(flags.CheckUnrecognized());
 
   std::unique_ptr<HpoOptimizer> optimizer;
@@ -198,22 +228,22 @@ Status RunCli(int argc, char** argv) {
   HyperbandOptions hb_options;
   hb_options.pool = pool.get();
   if (base == "random") {
-    optimizer = std::make_unique<RandomSearch>(&space, strategy.get(), 10);
+    optimizer = std::make_unique<RandomSearch>(&space, eval, 10);
   } else if (base == "sha") {
     optimizer = std::make_unique<SuccessiveHalving>(space.EnumerateGrid(),
-                                                    strategy.get(),
+                                                    eval,
                                                     sha_options);
   } else if (base == "hb") {
-    optimizer = std::make_unique<Hyperband>(&hb_sampler, strategy.get(),
+    optimizer = std::make_unique<Hyperband>(&hb_sampler, eval,
                                             hb_options);
   } else if (base == "bohb") {
-    optimizer = std::make_unique<Bohb>(&space, strategy.get(), hb_options);
+    optimizer = std::make_unique<Bohb>(&space, eval, hb_options);
   } else if (base == "dehb") {
-    optimizer = std::make_unique<Dehb>(&space, strategy.get(), hb_options);
+    optimizer = std::make_unique<Dehb>(&space, eval, hb_options);
   } else if (base == "asha") {
-    optimizer = std::make_unique<Asha>(&space, strategy.get());
+    optimizer = std::make_unique<Asha>(&space, eval);
   } else if (base == "pasha") {
-    optimizer = std::make_unique<Pasha>(&space, strategy.get());
+    optimizer = std::make_unique<Pasha>(&space, eval);
   } else {
     return Status::InvalidArgument("unknown --method '" + method + "'");
   }
@@ -241,6 +271,56 @@ Status RunCli(int argc, char** argv) {
               final.train_metric, final.test_metric,
               EvalMetricToString(metric));
   std::printf("search time: %.1fs\n", search_seconds);
+  EvalCacheStats cache_stats;
+  if (cache != nullptr) {
+    cache_stats = cache->Stats();
+    std::printf(
+        "cache: %zu fold hits / %zu fold misses, %zu result hits / %zu "
+        "result misses (hit rate %.1f%%, %zu entries, %zu evicted)\n",
+        cache_stats.fold_hits, cache_stats.fold_misses,
+        cache_stats.result_hits, cache_stats.result_misses,
+        100.0 * cache_stats.hit_rate(), cache_stats.entries,
+        cache_stats.evictions);
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      return Status::IoError("cannot open --json path '" + json_path + "'");
+    }
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"method\": \"%s\",\n", method.c_str());
+    std::fprintf(out, "  \"seed\": %d,\n", seed);
+    std::fprintf(out, "  \"best_config\": \"%s\",\n",
+                 result.best_config.ToString().c_str());
+    std::fprintf(out, "  \"cv_score\": %.17g,\n", result.best_score);
+    std::fprintf(out, "  \"num_evaluations\": %zu,\n",
+                 result.num_evaluations);
+    std::fprintf(out, "  \"total_instances\": %zu,\n",
+                 result.total_instances);
+    std::fprintf(out, "  \"train_metric\": %.17g,\n", final.train_metric);
+    std::fprintf(out, "  \"test_metric\": %.17g,\n", final.test_metric);
+    std::fprintf(out, "  \"search_seconds\": %.6f,\n", search_seconds);
+    std::fprintf(out, "  \"cache\": {\n");
+    std::fprintf(out, "    \"enabled\": %s,\n",
+                 cache != nullptr ? "true" : "false");
+    std::fprintf(out, "    \"capacity\": %d,\n", cache_capacity);
+    std::fprintf(out, "    \"fold_hits\": %zu,\n", cache_stats.fold_hits);
+    std::fprintf(out, "    \"fold_misses\": %zu,\n",
+                 cache_stats.fold_misses);
+    std::fprintf(out, "    \"result_hits\": %zu,\n",
+                 cache_stats.result_hits);
+    std::fprintf(out, "    \"result_misses\": %zu,\n",
+                 cache_stats.result_misses);
+    std::fprintf(out, "    \"insertions\": %zu,\n", cache_stats.insertions);
+    std::fprintf(out, "    \"evictions\": %zu,\n", cache_stats.evictions);
+    std::fprintf(out, "    \"entries\": %zu,\n", cache_stats.entries);
+    std::fprintf(out, "    \"hit_rate\": %.6f\n", cache_stats.hit_rate());
+    std::fprintf(out, "  }\n");
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::printf("wrote JSON summary to %s\n", json_path.c_str());
+  }
 
   if (!save_path.empty()) {
     BHPO_ASSIGN_OR_RETURN(ModelFactory final_factory,
