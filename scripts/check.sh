@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 gate plus a sanitizer pass over the concurrency-sensitive pieces
-# (the evaluation cache and the thread pool).
+# (the evaluation cache and the thread pool) and the memory-layout-sensitive
+# ones (the indexed-gather kernel, the column-blocked matrix, and the
+# bit-exactness suites, whose edge widths and misaligned view offsets are
+# exactly where an out-of-bounds copy would hide).
 #
 # Usage: scripts/check.sh [--skip-asan]
 set -euo pipefail
@@ -26,12 +29,22 @@ if [[ "$skip_asan" == 1 ]]; then
   exit 0
 fi
 
-echo "== sanitizer: ASan+UBSan build of cache + thread-pool tests =="
+echo "== sanitizer: ASan+UBSan build of cache + thread-pool + gather tests =="
 cmake --preset asan
-cmake --build build-asan -j"$jobs" --target bhpo_hpo_test bhpo_common_test
+cmake --build build-asan -j"$jobs" \
+  --target bhpo_hpo_test bhpo_common_test bhpo_data_test bhpo_ml_test
 
 ./build-asan/tests/bhpo_hpo_test \
   --gtest_filter='EvalCache*:CachingStrategy*:FoldCache*:CacheTransparency*'
 ./build-asan/tests/bhpo_common_test --gtest_filter='*ThreadPool*'
+# Gather kernel + blocked layout under ASan, both dispatch variants: the
+# edge-width/misalignment suite flips the runtime toggle itself, and the
+# second run pins the portable path via the env kill switch.
+./build-asan/tests/bhpo_common_test \
+  --gtest_filter='Gather*:ColBlockMatrix*:MatrixSelectRowsGather*'
+BHPO_SIMD=off ./build-asan/tests/bhpo_common_test \
+  --gtest_filter='Gather*:ColBlockMatrix*:MatrixSelectRowsGather*'
+./build-asan/tests/bhpo_data_test --gtest_filter='GatherBitExact*'
+./build-asan/tests/bhpo_ml_test --gtest_filter='TreeLayoutBitExact*'
 
 echo "All checks passed."

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/gather.h"
+
 namespace bhpo {
 
 Matrix Matrix::Identity(size_t n) {
@@ -43,12 +45,10 @@ std::vector<double> Matrix::RowVector(size_t r) const {
 }
 
 Matrix Matrix::SelectRows(const std::vector<size_t>& indices) const {
+  for (size_t idx : indices) BHPO_CHECK_LT(idx, rows_);
   Matrix out(indices.size(), cols_);
-  for (size_t i = 0; i < indices.size(); ++i) {
-    const double* src = Row(indices[i]);
-    double* dst = out.Row(i);
-    for (size_t c = 0; c < cols_; ++c) dst[c] = src[c];
-  }
+  GatherRows(data_.data(), cols_, cols_, indices.data(), indices.size(),
+             out.data_.data());
   return out;
 }
 

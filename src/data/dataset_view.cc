@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/gather.h"
+
 namespace bhpo {
 
 DatasetView::DatasetView(const Dataset& parent, std::vector<size_t> indices)
@@ -26,10 +28,13 @@ DatasetView DatasetView::ViewOf(const std::vector<size_t>& indices) const {
 DatasetView DatasetView::ViewOf(std::vector<size_t>&& indices) const {
   BHPO_CHECK(parent_ != nullptr) << "ViewOf on an empty DatasetView";
   if (!has_indices_) return DatasetView(*parent_, std::move(indices));
-  for (size_t& i : indices) {
-    BHPO_CHECK_LT(i, indices_.size());
-    i = indices_[i];
+  // Validate everything before remapping anything: a mid-loop CHECK after
+  // partial remapping would leave the caller's vector half parent-space,
+  // half view-space.
+  for (size_t i : indices) {
+    BHPO_CHECK_LT(i, indices_.size()) << "ViewOf index out of range";
   }
+  for (size_t& i : indices) i = indices_[i];
   return DatasetView(*parent_, std::move(indices));
 }
 
@@ -52,12 +57,19 @@ std::vector<std::vector<size_t>> DatasetView::IndicesByClass() const {
 Matrix DatasetView::GatherFeatures() const {
   if (!has_indices_) return parent().features();
   size_t d = num_features();
+  const Matrix& src = parent().features();
   Matrix out(indices_.size(), d);
-  for (size_t i = 0; i < indices_.size(); ++i) {
-    std::memcpy(out.Row(i), parent().features().Row(indices_[i]),
-                d * sizeof(double));
-  }
+  GatherRows(src.data().data(), d, d, indices_.data(), indices_.size(),
+             out.data().data());
   return out;
+}
+
+ColBlockMatrix DatasetView::GatherFeatureColumns() const {
+  const Matrix& src = parent().features();
+  if (!has_indices_) return ColBlockMatrix::FromMatrix(src);
+  return ColBlockMatrix::FromRowMajor(src.data().data(), src.cols(),
+                                      src.cols(), indices_.data(),
+                                      indices_.size());
 }
 
 std::vector<int> DatasetView::GatherLabels() const {

@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "common/col_block_matrix.h"
+
 namespace bhpo {
 
 Status DecisionTreeConfig::Validate() const {
@@ -37,11 +39,42 @@ struct SplitCandidate {
   double score = std::numeric_limits<double>::infinity();  // Lower = better.
 };
 
+// Feature-access policies for BuildNodeImpl. Both expose the same training
+// rows; they differ in where the doubles live. The builder's decisions are
+// pure comparisons over those doubles in a fixed iteration order, so the
+// two policies grow bit-identical trees (tree_layout_bitexact_test.cc).
+
+// Indices are parent-matrix row ids; feature reads stride across rows.
+struct RowMajorAccess {
+  static constexpr bool kColumnar = false;
+  const Dataset* data;
+  size_t num_features() const { return data->num_features(); }
+  double Feature(size_t i, size_t f) const { return data->features()(i, f); }
+  const double* Column(size_t) const { return nullptr; }
+  int Label(size_t i) const { return data->label(i); }
+  double Target(size_t i) const { return data->target(i); }
+};
+
+// Indices are local row ids 0..n-1 over gathered training rows; feature
+// reads walk one contiguous column at a time.
+struct ColBlockAccess {
+  static constexpr bool kColumnar = true;
+  const ColBlockMatrix* features;
+  const std::vector<int>* labels;      // Classification only.
+  const std::vector<double>* targets;  // Regression only.
+  size_t num_features() const { return features->cols(); }
+  double Feature(size_t i, size_t f) const { return features->Column(f)[i]; }
+  const double* Column(size_t f) const { return features->Column(f); }
+  int Label(size_t i) const { return (*labels)[i]; }
+  double Target(size_t i) const { return (*targets)[i]; }
+};
+
 }  // namespace
 
-int DecisionTree::BuildNode(const Dataset& train,
-                            std::vector<size_t>* indices, size_t begin,
-                            size_t end, int depth, Rng* rng) {
+template <typename Access>
+int DecisionTree::BuildNodeImpl(const Access& access,
+                                std::vector<size_t>* indices, size_t begin,
+                                size_t end, int depth, Rng* rng) {
   size_t n = end - begin;
   BHPO_CHECK_GT(n, 0u);
   depth_ = std::max(depth_, depth);
@@ -54,18 +87,18 @@ int DecisionTree::BuildNode(const Dataset& train,
   bool pure = true;
   if (task_ == Task::kClassification) {
     leaf_value.assign(num_classes_, 0.0);
-    int first = train.label((*indices)[begin]);
+    int first = access.Label((*indices)[begin]);
     for (size_t i = begin; i < end; ++i) {
-      int y = train.label((*indices)[i]);
+      int y = access.Label((*indices)[i]);
       leaf_value[y] += 1.0;
       pure &= y == first;
     }
     for (double& v : leaf_value) v /= static_cast<double>(n);
   } else {
     double mean = 0.0;
-    double first = train.target((*indices)[begin]);
+    double first = access.Target((*indices)[begin]);
     for (size_t i = begin; i < end; ++i) {
-      double y = train.target((*indices)[i]);
+      double y = access.Target((*indices)[i]);
       mean += y;
       pure &= y == first;
     }
@@ -81,7 +114,7 @@ int DecisionTree::BuildNode(const Dataset& train,
   }
 
   // Candidate features: all, or a random subset of max_features.
-  size_t num_features = train.num_features();
+  size_t num_features = access.num_features();
   std::vector<size_t> features(num_features);
   std::iota(features.begin(), features.end(), 0);
   if (config_.max_features > 0 &&
@@ -97,22 +130,33 @@ int DecisionTree::BuildNode(const Dataset& train,
   size_t min_leaf = static_cast<size_t>(config_.min_samples_leaf);
 
   for (size_t f : features) {
-    std::sort(scratch.begin(), scratch.end(), [&](size_t a, size_t b) {
-      return train.features()(a, f) < train.features()(b, f);
-    });
+    // Columnar layouts hoist the feature's base pointer out of the sort
+    // comparator and the scan; the row-major baseline reads through the
+    // (r, c) accessor exactly as before.
+    [[maybe_unused]] const double* col = nullptr;
+    if constexpr (Access::kColumnar) col = access.Column(f);
+    auto feat = [&](size_t idx) {
+      if constexpr (Access::kColumnar) {
+        return col[idx];
+      } else {
+        return access.Feature(idx, f);
+      }
+    };
+    std::sort(scratch.begin(), scratch.end(),
+              [&](size_t a, size_t b) { return feat(a) < feat(b); });
 
     if (task_ == Task::kClassification) {
       std::vector<double> left_counts(num_classes_, 0.0);
       std::vector<double> right_counts(num_classes_, 0.0);
       for (size_t i = 0; i < n; ++i) {
-        right_counts[train.label(scratch[i])] += 1.0;
+        right_counts[access.Label(scratch[i])] += 1.0;
       }
       for (size_t i = 0; i + 1 < n; ++i) {
-        int y = train.label(scratch[i]);
+        int y = access.Label(scratch[i]);
         left_counts[y] += 1.0;
         right_counts[y] -= 1.0;
-        double lo = train.features()(scratch[i], f);
-        double hi = train.features()(scratch[i + 1], f);
+        double lo = feat(scratch[i]);
+        double hi = feat(scratch[i + 1]);
         if (lo == hi) continue;  // No valid threshold between equal values.
         size_t n_left = i + 1, n_right = n - n_left;
         if (n_left < min_leaf || n_right < min_leaf) continue;
@@ -126,19 +170,19 @@ int DecisionTree::BuildNode(const Dataset& train,
     } else {
       double right_sum = 0.0, right_sq = 0.0;
       for (size_t i = 0; i < n; ++i) {
-        double y = train.target(scratch[i]);
+        double y = access.Target(scratch[i]);
         right_sum += y;
         right_sq += y * y;
       }
       double left_sum = 0.0, left_sq = 0.0;
       for (size_t i = 0; i + 1 < n; ++i) {
-        double y = train.target(scratch[i]);
+        double y = access.Target(scratch[i]);
         left_sum += y;
         left_sq += y * y;
         right_sum -= y;
         right_sq -= y * y;
-        double lo = train.features()(scratch[i], f);
-        double hi = train.features()(scratch[i + 1], f);
+        double lo = feat(scratch[i]);
+        double hi = feat(scratch[i + 1]);
         if (lo == hi) continue;
         size_t n_left = i + 1, n_right = n - n_left;
         if (n_left < min_leaf || n_right < min_leaf) continue;
@@ -159,17 +203,25 @@ int DecisionTree::BuildNode(const Dataset& train,
   }
 
   // Partition [begin, end) by the chosen split.
+  [[maybe_unused]] const double* best_col = nullptr;
+  if constexpr (Access::kColumnar) best_col = access.Column(best.feature);
   auto middle = std::stable_partition(
       indices->begin() + begin, indices->begin() + end, [&](size_t idx) {
-        return train.features()(idx, best.feature) <= best.threshold;
+        if constexpr (Access::kColumnar) {
+          return best_col[idx] <= best.threshold;
+        } else {
+          return access.Feature(idx, best.feature) <= best.threshold;
+        }
       });
   size_t split_point = static_cast<size_t>(middle - indices->begin());
   BHPO_CHECK(split_point > begin && split_point < end);
 
   nodes_[node_id].feature = best.feature;
   nodes_[node_id].threshold = best.threshold;
-  int left = BuildNode(train, indices, begin, split_point, depth + 1, rng);
-  int right = BuildNode(train, indices, split_point, end, depth + 1, rng);
+  int left =
+      BuildNodeImpl(access, indices, begin, split_point, depth + 1, rng);
+  int right =
+      BuildNodeImpl(access, indices, split_point, end, depth + 1, rng);
   nodes_[node_id].left = left;
   nodes_[node_id].right = right;
   return node_id;
@@ -184,14 +236,35 @@ Status DecisionTree::Fit(const DatasetView& train) {
   num_classes_ = train.is_classification() ? train.num_classes() : 0;
   nodes_.clear();
   depth_ = 0;
-
-  // Building over the view's parent indices lets BuildNode read rows from
-  // the parent matrix in place; split search only ever compares feature
-  // values, so the result is identical to fitting a materialized copy.
-  std::vector<size_t> indices(train.n());
-  for (size_t i = 0; i < train.n(); ++i) indices[i] = train.parent_index(i);
   Rng rng(config_.seed);
-  BuildNode(train.parent(), &indices, 0, train.n(), 0, &rng);
+  size_t n = train.n();
+
+  if (config_.layout == SplitLayout::kRowMajor) {
+    // Zero-copy baseline: build over the view's parent indices and read
+    // rows from the parent matrix in place; split search only ever
+    // compares feature values, so the result is identical to fitting a
+    // materialized copy.
+    std::vector<size_t> indices(n);
+    for (size_t i = 0; i < n; ++i) indices[i] = train.parent_index(i);
+    RowMajorAccess access{&train.parent()};
+    BuildNodeImpl(access, &indices, 0, n, 0, &rng);
+  } else {
+    // Column-blocked path: gather-transpose the training rows once, then
+    // every split scan streams contiguous columns. Labels/targets are
+    // gathered alongside so all builder reads are local-id indexed.
+    ColBlockMatrix columns = train.GatherFeatureColumns();
+    std::vector<int> labels;
+    std::vector<double> targets;
+    if (task_ == Task::kClassification) {
+      labels = train.GatherLabels();
+    } else {
+      targets = train.GatherTargets();
+    }
+    std::vector<size_t> indices(n);
+    std::iota(indices.begin(), indices.end(), 0);
+    ColBlockAccess access{&columns, &labels, &targets};
+    BuildNodeImpl(access, &indices, 0, n, 0, &rng);
+  }
   fitted_ = true;
   return Status::OK();
 }

@@ -97,6 +97,41 @@ TEST(DatasetViewTest, SubsetOfSubsetComposesToParent) {
   EXPECT_EQ(&second.parent(), &data);  // One indirection deep, not two.
 }
 
+// The rvalue overload remaps the caller's vector in place; it must compose
+// exactly like the lvalue overload.
+TEST(DatasetViewTest, RvalueViewOfComposesLikeLvalue) {
+  Dataset data = SmallBlobs();
+  std::vector<size_t> outer = {10, 20, 30, 40, 50};
+  DatasetView first = DatasetView(data).ViewOf(outer);
+  std::vector<size_t> inner = {4, 0, 2};
+  DatasetView by_copy = first.ViewOf(inner);
+  DatasetView by_move = first.ViewOf(std::vector<size_t>{4, 0, 2});
+  ASSERT_EQ(by_move.n(), by_copy.n());
+  for (size_t i = 0; i < by_copy.n(); ++i) {
+    EXPECT_EQ(by_move.parent_index(i), by_copy.parent_index(i));
+  }
+}
+
+TEST(DatasetViewDeathTest, RvalueViewOfRejectsOutOfRangeBeforeRemapping) {
+  Dataset data = SmallBlobs();
+  std::vector<size_t> outer = {10, 20, 30};
+  DatasetView view = DatasetView(data).ViewOf(outer);
+  // Index 3 is out of range for the 3-row view. The overload must validate
+  // the whole vector before remapping any element (a mid-loop failure used
+  // to leave the caller's vector half parent-space, half view-space).
+  EXPECT_DEATH(view.ViewOf(std::vector<size_t>{0, 3, 1}),
+               "ViewOf index out of range");
+  EXPECT_DEATH(view.ViewOf(std::vector<size_t>{0, 1, 100}),
+               "ViewOf index out of range");
+}
+
+TEST(DatasetViewDeathTest, LvalueViewOfRejectsOutOfRange) {
+  Dataset data = SmallBlobs();
+  DatasetView view = DatasetView(data).ViewOf({0, 1, 2});
+  std::vector<size_t> bad = {5};
+  EXPECT_DEATH(view.ViewOf(bad), "BHPO_CHECK");
+}
+
 TEST(DatasetViewTest, GatherAndMaterializeMatchSubset) {
   Dataset data = SmallBlobs();
   std::vector<size_t> idx = {7, 3, 55, 21};

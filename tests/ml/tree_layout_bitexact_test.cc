@@ -1,0 +1,238 @@
+// Bit-exactness lockdown for column-blocked tree training: a DecisionTree,
+// RandomForest or GBDT fit through the ColBlockMatrix split-scan path must
+// produce the *same tree* — identical node structure, thresholds, leaf
+// payloads, and therefore identical predictions — as the historical
+// row-major path, on any view and at any CV pool size. The builder's
+// decisions are comparisons over the same doubles in the same iteration
+// order either way, so equality is exact (EXPECT_EQ on doubles, memcmp on
+// serialized text), never approximate.
+
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "cv/cross_validate.h"
+#include "cv/stratified_kfold.h"
+#include "data/synthetic.h"
+#include "ml/decision_tree.h"
+#include "ml/gbdt.h"
+#include "ml/random_forest.h"
+#include "ml/serialization.h"
+
+namespace bhpo {
+namespace {
+
+Dataset Blobs(size_t n, size_t d, uint64_t seed) {
+  BlobsSpec spec;
+  spec.n = n;
+  spec.num_features = d;
+  spec.num_classes = 3;
+  spec.seed = seed;
+  return MakeBlobs(spec).value().Standardized();
+}
+
+Dataset Regression(size_t n, size_t d, uint64_t seed) {
+  RegressionSpec spec;
+  spec.n = n;
+  spec.num_features = d;
+  spec.seed = seed;
+  return MakeRegression(spec).value().Standardized();
+}
+
+// Serialized text captures every split feature, threshold and leaf payload
+// at full precision: string equality == structural tree identity.
+std::string Serialized(const DecisionTree& tree) {
+  std::ostringstream out;
+  BHPO_CHECK(SaveDecisionTree(tree, out).ok());
+  return out.str();
+}
+
+void ExpectIdenticalTrees(const DatasetView& view, DecisionTreeConfig config,
+                          const char* label) {
+  config.layout = SplitLayout::kRowMajor;
+  DecisionTree row_major(config);
+  config.layout = SplitLayout::kColBlocked;
+  DecisionTree blocked(config);
+  ASSERT_TRUE(row_major.Fit(view).ok()) << label;
+  ASSERT_TRUE(blocked.Fit(view).ok()) << label;
+  EXPECT_EQ(row_major.node_count(), blocked.node_count()) << label;
+  EXPECT_EQ(row_major.depth(), blocked.depth()) << label;
+  EXPECT_EQ(Serialized(row_major), Serialized(blocked)) << label;
+}
+
+TEST(TreeLayoutBitExactTest, ClassificationTreesMatchOnViews) {
+  Dataset data = Blobs(150, 8, 21);
+  DecisionTreeConfig config;
+  config.max_depth = 6;
+
+  ExpectIdenticalTrees(DatasetView(data), config, "full");
+
+  std::vector<size_t> strided;
+  for (size_t i = 0; i < data.n(); i += 3) strided.push_back(i);
+  ExpectIdenticalTrees(DatasetView(data, strided), config, "strided");
+
+  // Bootstrap bag: duplicates force tied feature values inside the sort.
+  Rng rng(5);
+  std::vector<size_t> bag(data.n());
+  for (size_t& idx : bag) idx = rng.UniformIndex(data.n());
+  ExpectIdenticalTrees(DatasetView(data, bag), config, "bootstrap");
+}
+
+TEST(TreeLayoutBitExactTest, RegressionTreesMatch) {
+  Dataset data = Regression(120, 6, 22);
+  DecisionTreeConfig config;
+  config.max_depth = 5;
+  config.min_samples_leaf = 2;
+  ExpectIdenticalTrees(DatasetView(data), config, "regression-full");
+
+  std::vector<size_t> half;
+  for (size_t i = 0; i < data.n(); i += 2) half.push_back(i);
+  ExpectIdenticalTrees(DatasetView(data, half), config, "regression-half");
+}
+
+TEST(TreeLayoutBitExactTest, RandomFeatureSubsetsDrawTheSameRngStream) {
+  // max_features > 0 shuffles candidate features per node; both layouts
+  // must consume the per-node RNG identically or trees diverge.
+  Dataset data = Blobs(100, 10, 23);
+  DecisionTreeConfig config;
+  config.max_features = 3;
+  config.seed = 77;
+  ExpectIdenticalTrees(DatasetView(data), config, "max-features");
+}
+
+TEST(TreeLayoutBitExactTest, TinyShapes) {
+  Dataset data = Blobs(40, 5, 24);
+  DecisionTreeConfig config;
+  ExpectIdenticalTrees(DatasetView(data, {7}), config, "single-row");
+  ExpectIdenticalTrees(DatasetView(data, {7, 7, 7}), config, "constant-rows");
+  ExpectIdenticalTrees(DatasetView(data, {3, 19}), config, "two-rows");
+}
+
+TEST(TreeLayoutBitExactTest, RandomForestPredictionsMatch) {
+  Dataset data = Blobs(120, 7, 25);
+  RandomForestConfig config;
+  config.num_trees = 8;
+  config.seed = 3;
+  config.tree.max_depth = 5;
+
+  config.tree.layout = SplitLayout::kRowMajor;
+  RandomForest row_major(config);
+  config.tree.layout = SplitLayout::kColBlocked;
+  RandomForest blocked(config);
+  ASSERT_TRUE(row_major.Fit(data).ok());
+  ASSERT_TRUE(blocked.Fit(data).ok());
+
+  EXPECT_EQ(row_major.PredictLabels(data.features()),
+            blocked.PredictLabels(data.features()));
+  Matrix p1 = row_major.PredictProba(data.features());
+  Matrix p2 = blocked.PredictProba(data.features());
+  ASSERT_EQ(p1.size(), p2.size());
+  for (size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_EQ(p1.data()[i], p2.data()[i]) << "proba " << i;
+  }
+}
+
+void ExpectIdenticalGbdt(const Dataset& data, GbdtConfig config,
+                         const char* label) {
+  config.layout = SplitLayout::kRowMajor;
+  GbdtModel row_major(config);
+  config.layout = SplitLayout::kColBlocked;
+  GbdtModel blocked(config);
+  ASSERT_TRUE(row_major.Fit(data).ok()) << label;
+  ASSERT_TRUE(blocked.Fit(data).ok()) << label;
+  EXPECT_EQ(row_major.final_loss(), blocked.final_loss()) << label;
+  if (data.is_classification()) {
+    EXPECT_EQ(row_major.PredictLabels(data.features()),
+              blocked.PredictLabels(data.features()))
+        << label;
+  } else {
+    std::vector<double> v1 = row_major.PredictValues(data.features());
+    std::vector<double> v2 = blocked.PredictValues(data.features());
+    ASSERT_EQ(v1.size(), v2.size()) << label;
+    for (size_t i = 0; i < v1.size(); ++i) {
+      EXPECT_EQ(v1[i], v2[i]) << label << " row " << i;
+    }
+  }
+}
+
+TEST(TreeLayoutBitExactTest, GbdtClassificationMatches) {
+  GbdtConfig config;
+  config.num_rounds = 6;
+  config.subsample = 0.7;  // Exercises the per-round subset gather.
+  config.seed = 9;
+  ExpectIdenticalGbdt(Blobs(100, 6, 26), config, "gbdt-cls");
+}
+
+TEST(TreeLayoutBitExactTest, GbdtRegressionMatches) {
+  GbdtConfig config;
+  config.num_rounds = 8;
+  config.seed = 10;
+  ExpectIdenticalGbdt(Regression(90, 5, 27), config, "gbdt-reg");
+}
+
+// ---------------------------------------------------------------------------
+// Layout transparency through cross-validation at pool sizes 1 and 8: the
+// fold scores a bandit consumes must not depend on the training layout, no
+// matter how folds are scheduled across threads.
+// ---------------------------------------------------------------------------
+
+CvOutcome RunCv(const Dataset& data, SplitLayout layout, size_t threads,
+                bool gbdt) {
+  std::vector<size_t> all(data.n());
+  for (size_t i = 0; i < data.n(); ++i) all[i] = i;
+  Rng rng(1);
+  StratifiedKFold builder;
+  FoldSet folds = builder.Build(data, all, 5, &rng).value();
+
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  CvOptions options;
+  options.pool = pool.get();
+
+  auto factory = [&](size_t fold) -> std::unique_ptr<Model> {
+    if (gbdt) {
+      GbdtConfig config;
+      config.num_rounds = 4;
+      config.layout = layout;
+      config.seed = 100 + fold;
+      return std::make_unique<GbdtModel>(config);
+    }
+    DecisionTreeConfig config;
+    config.max_depth = 6;
+    config.layout = layout;
+    config.seed = 100 + fold;
+    return std::make_unique<DecisionTree>(config);
+  };
+  return CrossValidate(DatasetView(data), folds, factory, options).value();
+}
+
+void ExpectSameOutcome(const CvOutcome& a, const CvOutcome& b,
+                       const char* label) {
+  EXPECT_EQ(a.mean, b.mean) << label;
+  EXPECT_EQ(a.stddev, b.stddev) << label;
+  ASSERT_EQ(a.fold_scores.size(), b.fold_scores.size()) << label;
+  for (size_t f = 0; f < a.fold_scores.size(); ++f) {
+    EXPECT_EQ(a.fold_scores[f], b.fold_scores[f]) << label << " fold " << f;
+  }
+}
+
+TEST(TreeLayoutBitExactTest, CvLayoutTransparentPool1And8) {
+  Dataset data = Blobs(140, 6, 28);
+  for (size_t threads : {1u, 8u}) {
+    for (bool gbdt : {false, true}) {
+      CvOutcome row_major = RunCv(data, SplitLayout::kRowMajor, threads, gbdt);
+      CvOutcome blocked = RunCv(data, SplitLayout::kColBlocked, threads, gbdt);
+      ExpectSameOutcome(row_major, blocked,
+                        gbdt ? "gbdt" : "tree");
+      // And the pool itself must be layout-and-schedule transparent.
+      CvOutcome serial = RunCv(data, SplitLayout::kColBlocked, 1, gbdt);
+      ExpectSameOutcome(blocked, serial, "pool-vs-serial");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bhpo
