@@ -1,8 +1,10 @@
 #include "bench/bench_util.h"
 
+#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 
+#include "common/env.h"
+#include "common/strings.h"
 #include "cv/cross_validate.h"
 
 namespace bhpo {
@@ -10,24 +12,20 @@ namespace bench {
 
 BenchConfig GetBenchConfig() {
   BenchConfig config;
-  const char* full = std::getenv("BHPO_BENCH_FULL");
-  if (full != nullptr && std::string(full) == "1") {
+  if (GetEnvBool("BHPO_BENCH_FULL", false)) {
     config.full = true;
     config.seeds = 5;
     config.scale = 1.0;
     config.max_iter = 60;
   }
   // Fine-grained overrides for intermediate sizings.
-  if (const char* seeds = std::getenv("BHPO_BENCH_SEEDS")) {
-    config.seeds = std::max(1, std::atoi(seeds));
+  config.seeds = std::max(1, GetEnvInt("BHPO_BENCH_SEEDS", config.seeds));
+  if (std::optional<std::string> scale = GetEnv("BHPO_BENCH_SCALE")) {
+    Result<double> value = ParseDouble(*scale);
+    if (value.ok() && *value > 0.0) config.scale = *value;
   }
-  if (const char* scale = std::getenv("BHPO_BENCH_SCALE")) {
-    double value = std::atof(scale);
-    if (value > 0.0) config.scale = value;
-  }
-  if (const char* max_iter = std::getenv("BHPO_BENCH_MAXITER")) {
-    config.max_iter = std::max(1, std::atoi(max_iter));
-  }
+  config.max_iter =
+      std::max(1, GetEnvInt("BHPO_BENCH_MAXITER", config.max_iter));
   return config;
 }
 

@@ -1,50 +1,91 @@
 #!/usr/bin/env bash
-# Tier-1 gate plus a sanitizer pass over the concurrency-sensitive pieces
-# (the evaluation cache and the thread pool) and the memory-layout-sensitive
-# ones (the indexed-gather kernel, the column-blocked matrix, and the
-# bit-exactness suites, whose edge widths and misaligned view offsets are
-# exactly where an out-of-bounds copy would hide).
+# The whole static + dynamic analysis gate in one command:
 #
-# Usage: scripts/check.sh [--skip-asan]
+#   1. bhpo_lint        repo invariants (determinism primitives, unordered
+#                       iteration in score paths, [[nodiscard]] Status,
+#                       raw new/delete/std::thread) over src/ bench/ tests/
+#   2. tier-1           Release build + full ctest
+#   3. clang-tidy       bugprone-*/concurrency-*/performance-* profile
+#                       (skipped with a note when clang-tidy is not installed)
+#   4. ASan+UBSan       cache + thread-pool + gather/layout suites
+#   5. TSan             ThreadPool / fold-parallel CV / EvalCache suites and
+#                       the contended stress test under -fsanitize=thread
+#
+# Usage: scripts/check.sh [--fast] [--skip-asan] [--skip-tsan]
+#   --fast       lint + tier-1 only (skips every sanitizer rebuild and tidy)
+#   --skip-asan  skip the ASan pass
+#   --skip-tsan  skip the TSan pass
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-skip_asan=0
+run_asan=1
+run_tsan=1
+run_tidy=1
 for arg in "$@"; do
   case "$arg" in
-    --skip-asan) skip_asan=1 ;;
+    --fast) run_asan=0; run_tsan=0; run_tidy=0 ;;
+    --skip-asan) run_asan=0 ;;
+    --skip-tsan) run_tsan=0 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
 
 jobs="$(nproc 2>/dev/null || echo 4)"
 
-echo "== tier-1: configure + build + ctest (Release) =="
-cmake --preset default
+echo "== lint: bhpo_lint over src/ bench/ tests/ =="
+cmake --preset default >/dev/null
+cmake --build build -j"$jobs" --target bhpo_lint
+./build/tools/bhpo_lint src/ bench/ tests/
+
+echo "== tier-1: build + ctest (Release) =="
 cmake --build build -j"$jobs"
 ctest --test-dir build --output-on-failure
 
-if [[ "$skip_asan" == 1 ]]; then
-  echo "== sanitizer pass skipped (--skip-asan) =="
-  exit 0
+if [[ "$run_tidy" == 1 ]]; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== clang-tidy: bugprone/concurrency/performance profile =="
+    cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    # Lint the library sources; headers ride along via HeaderFilterRegex.
+    find src tools -name '*.cc' -print0 |
+      xargs -0 clang-tidy -p build --quiet
+  else
+    echo "== clang-tidy not found; skipping (install it or use the tidy preset) =="
+  fi
 fi
 
-echo "== sanitizer: ASan+UBSan build of cache + thread-pool + gather tests =="
-cmake --preset asan
-cmake --build build-asan -j"$jobs" \
-  --target bhpo_hpo_test bhpo_common_test bhpo_data_test bhpo_ml_test
+if [[ "$run_asan" == 1 ]]; then
+  echo "== ASan+UBSan: cache + thread-pool + gather/layout suites =="
+  cmake --preset asan >/dev/null
+  cmake --build build-asan -j"$jobs" \
+    --target bhpo_hpo_test bhpo_common_test bhpo_data_test bhpo_ml_test \
+             bhpo_stress_test
 
-./build-asan/tests/bhpo_hpo_test \
-  --gtest_filter='EvalCache*:CachingStrategy*:FoldCache*:CacheTransparency*'
-./build-asan/tests/bhpo_common_test --gtest_filter='*ThreadPool*'
-# Gather kernel + blocked layout under ASan, both dispatch variants: the
-# edge-width/misalignment suite flips the runtime toggle itself, and the
-# second run pins the portable path via the env kill switch.
-./build-asan/tests/bhpo_common_test \
-  --gtest_filter='Gather*:ColBlockMatrix*:MatrixSelectRowsGather*'
-BHPO_SIMD=off ./build-asan/tests/bhpo_common_test \
-  --gtest_filter='Gather*:ColBlockMatrix*:MatrixSelectRowsGather*'
-./build-asan/tests/bhpo_data_test --gtest_filter='GatherBitExact*'
-./build-asan/tests/bhpo_ml_test --gtest_filter='TreeLayoutBitExact*'
+  ./build-asan/tests/bhpo_hpo_test \
+    --gtest_filter='EvalCache*:CachingStrategy*:FoldCache*:CacheTransparency*'
+  ./build-asan/tests/bhpo_common_test --gtest_filter='*ThreadPool*'
+  # Gather kernel + blocked layout under ASan, both dispatch variants: the
+  # edge-width/misalignment suite flips the runtime toggle itself, and the
+  # second run pins the portable path via the env kill switch.
+  ./build-asan/tests/bhpo_common_test \
+    --gtest_filter='Gather*:ColBlockMatrix*:MatrixSelectRowsGather*'
+  BHPO_SIMD=off ./build-asan/tests/bhpo_common_test \
+    --gtest_filter='Gather*:ColBlockMatrix*:MatrixSelectRowsGather*'
+  ./build-asan/tests/bhpo_data_test --gtest_filter='GatherBitExact*'
+  ./build-asan/tests/bhpo_ml_test --gtest_filter='TreeLayoutBitExact*'
+  ./build-asan/tests/bhpo_stress_test
+else
+  echo "== ASan pass skipped =="
+fi
+
+if [[ "$run_tsan" == 1 ]]; then
+  echo "== TSan: thread-pool + fold-parallel CV + eval-cache + stress =="
+  cmake --preset tsan >/dev/null
+  cmake --build build-tsan -j"$jobs" \
+    --target bhpo_common_test bhpo_cv_test bhpo_hpo_test bhpo_stress_test
+  ctest --test-dir build-tsan --output-on-failure \
+    -R 'bhpo_tsan_(thread_pool|cv_parallel|eval_cache|stress)'
+else
+  echo "== TSan pass skipped =="
+fi
 
 echo "All checks passed."

@@ -1,0 +1,43 @@
+#include "common/env.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace bhpo {
+namespace {
+
+std::string AsciiLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::string> GetEnv(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return std::nullopt;
+  return std::string(value);
+}
+
+bool GetEnvBool(const char* name, bool default_value) {
+  std::optional<std::string> raw = GetEnv(name);
+  if (!raw.has_value()) return default_value;
+  std::string v = AsciiLower(StripWhitespace(*raw));
+  if (v == "1" || v == "on" || v == "true" || v == "yes") return true;
+  if (v == "0" || v == "off" || v == "false" || v == "no") return false;
+  return default_value;
+}
+
+int GetEnvInt(const char* name, int default_value) {
+  std::optional<std::string> raw = GetEnv(name);
+  if (!raw.has_value()) return default_value;
+  Result<int> parsed = ParseInt(*raw);
+  return parsed.ok() ? parsed.value() : default_value;
+}
+
+}  // namespace bhpo

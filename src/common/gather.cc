@@ -1,21 +1,12 @@
 #include "common/gather.h"
 
 #include <atomic>
-#include <cstdlib>
 #include <cstring>
+
+#include "common/env.h"
 
 namespace bhpo {
 namespace {
-
-// Env-var kill switch: BHPO_SIMD=0|off|OFF disables the AVX2 path at
-// process start even in SIMD builds. This is how ctest registers a portable
-// variant of every gather test against the same binary.
-bool SimdDisabledByEnv() {
-  const char* value = std::getenv("BHPO_SIMD");
-  if (value == nullptr) return false;
-  return std::strcmp(value, "0") == 0 || std::strcmp(value, "off") == 0 ||
-         std::strcmp(value, "OFF") == 0;
-}
 
 bool SimdSupported() {
 #if defined(BHPO_HAVE_AVX2)
@@ -25,7 +16,17 @@ bool SimdSupported() {
 #endif
 }
 
-std::atomic<bool> g_simd_enabled{SimdSupported() && !SimdDisabledByEnv()};
+// Env-var kill switch: BHPO_SIMD=0|off|false|no disables the AVX2 path
+// even in SIMD builds. This is how ctest registers a portable variant of
+// every gather test against the same binary. The flag is a function-local
+// static so the env read happens thread-safely at first use instead of in
+// a namespace-scope initializer during static init (std::getenv there
+// runs at an unspecified point before main).
+std::atomic<bool>& SimdEnabledFlag() {
+  static std::atomic<bool> flag{SimdSupported() &&
+                                GetEnvBool("BHPO_SIMD", true)};
+  return flag;
+}
 
 }  // namespace
 
@@ -38,12 +39,12 @@ bool GatherSimdCompiled() {
 }
 
 bool GatherSimdActive() {
-  return g_simd_enabled.load(std::memory_order_relaxed);
+  return SimdEnabledFlag().load(std::memory_order_relaxed);
 }
 
 bool SetGatherSimdEnabled(bool enabled) {
   bool requested = enabled && SimdSupported();
-  return g_simd_enabled.exchange(requested, std::memory_order_relaxed);
+  return SimdEnabledFlag().exchange(requested, std::memory_order_relaxed);
 }
 
 namespace internal {

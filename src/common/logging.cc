@@ -1,12 +1,29 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <iostream>
+
+#include "common/env.h"
 
 namespace bhpo {
 
 namespace {
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+
+// The minimum level lives behind a function-local static so the
+// BHPO_LOG_LEVEL env read happens once, thread-safely, at first use —
+// not in a namespace-scope initializer racing the rest of static init.
+std::atomic<int>& MinLevel() {
+  static std::atomic<int> level{[] {
+    std::optional<std::string> raw = GetEnv("BHPO_LOG_LEVEL");
+    if (raw.has_value()) {
+      std::optional<LogLevel> parsed = ParseLogLevel(*raw);
+      if (parsed.has_value()) return static_cast<int>(*parsed);
+    }
+    return static_cast<int>(LogLevel::kWarning);
+  }()};
+  return level;
+}
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -21,20 +38,33 @@ const char* LevelTag(LogLevel level) {
   }
   return "?";
 }
+
 }  // namespace
 
+std::optional<LogLevel> ParseLogLevel(std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarning;
+  if (lower == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
 void SetLogLevel(LogLevel level) {
-  g_min_level.store(static_cast<int>(level));
+  MinLevel().store(static_cast<int>(level));
 }
 
 LogLevel GetLogLevel() {
-  return static_cast<LogLevel>(g_min_level.load());
+  return static_cast<LogLevel>(MinLevel().load());
 }
 
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(static_cast<int>(level) >= g_min_level.load()),
+    : enabled_(static_cast<int>(level) >= MinLevel().load()),
       level_(level) {
   if (enabled_) {
     // Keep only the basename to keep log lines short.

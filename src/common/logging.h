@@ -1,17 +1,25 @@
 #ifndef BHPO_COMMON_LOGGING_H_
 #define BHPO_COMMON_LOGGING_H_
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace bhpo {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 // Process-wide minimum level; messages below it are dropped. Defaults to
-// kWarning so library internals stay quiet unless a harness opts in.
+// kWarning so library internals stay quiet unless a harness opts in, or
+// to BHPO_LOG_LEVEL (debug|info|warn|error) when that is set — the env
+// variable is read thread-safely at first use, never during static init.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Maps "debug"/"info"/"warn"/"warning"/"error" (case-insensitive) to a
+// level; nullopt for anything else. Exposed for the env-init path's tests.
+std::optional<LogLevel> ParseLogLevel(std::string_view name);
 
 namespace internal_logging {
 

@@ -27,7 +27,10 @@ enum class StatusCode {
 const char* StatusCodeToString(StatusCode code);
 
 // Arrow/RocksDB-style status object. Cheap to copy in the OK case.
-class Status {
+// [[nodiscard]] on the class makes every discarded return value a compiler
+// warning: a dropped Status is a swallowed failure, and tools/bhpo_lint
+// (rule status-nodiscard) keeps the attribute from regressing.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -73,7 +76,7 @@ class Status {
 
 // Result<T> holds either a value or an error Status, never both.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit construction from values and from error Statuses keeps call
   // sites terse: `return Status::InvalidArgument(...)` / `return value;`.

@@ -30,6 +30,8 @@ struct Entry {
 };
 
 const std::vector<Entry>& Catalog() {
+  // Intentionally leaked: immortal catalog, no destructor-order hazard.
+  // bhpo-lint: allow(raw-new)
   static const std::vector<Entry>* kCatalog = new std::vector<Entry>{
       // name, task, classes, train, test, features, imbalanced,
       // paper_train, paper_test, paper_features
@@ -93,6 +95,8 @@ uint64_t NameHash(const std::string& name) {
 
 const std::vector<PaperDatasetSpec>& PaperDatasets() {
   static const std::vector<PaperDatasetSpec>* kSpecs = [] {
+    // Intentionally leaked, same immortal-static pattern as Catalog().
+    // bhpo-lint: allow(raw-new)
     auto* specs = new std::vector<PaperDatasetSpec>();
     for (const Entry& e : Catalog()) specs->push_back(e.spec);
     return specs;

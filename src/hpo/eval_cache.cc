@@ -65,13 +65,14 @@ void EvalCache::Insert(const Key& key, Entry entry) {
       }
     }
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
   if (inserted) {
-    ++stats_.insertions;
-    ++stats_.entries;
+    stats_.insertions.fetch_add(1, std::memory_order_relaxed);
+    stats_.entries.fetch_add(1, std::memory_order_relaxed);
   }
-  stats_.evictions += evicted;
-  stats_.entries -= evicted;
+  if (evicted > 0) {
+    stats_.evictions.fetch_add(evicted, std::memory_order_relaxed);
+    stats_.entries.fetch_sub(evicted, std::memory_order_relaxed);
+  }
 }
 
 std::optional<EvalCache::FoldScore> EvalCache::LookupFold(uint64_t config_hash,
@@ -81,15 +82,11 @@ std::optional<EvalCache::FoldScore> EvalCache::LookupFold(uint64_t config_hash,
   std::optional<Entry> entry = Lookup(Key{config_hash, subset_id, fold});
   const FoldScore* value =
       entry.has_value() ? std::get_if<FoldScore>(&*entry) : nullptr;
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    if (value != nullptr) {
-      ++stats_.fold_hits;
-    } else {
-      ++stats_.fold_misses;
-    }
+  if (value == nullptr) {
+    stats_.fold_misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
   }
-  if (value == nullptr) return std::nullopt;
+  stats_.fold_hits.fetch_add(1, std::memory_order_relaxed);
   return *value;
 }
 
@@ -105,15 +102,11 @@ std::optional<EvalResult> EvalCache::LookupResult(uint64_t config_hash,
       Lookup(Key{config_hash, subset_id, kResultFold});
   EvalResult* value =
       entry.has_value() ? std::get_if<EvalResult>(&*entry) : nullptr;
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    if (value != nullptr) {
-      ++stats_.result_hits;
-    } else {
-      ++stats_.result_misses;
-    }
+  if (value == nullptr) {
+    stats_.result_misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
   }
-  if (value == nullptr) return std::nullopt;
+  stats_.result_hits.fetch_add(1, std::memory_order_relaxed);
   return std::move(*value);
 }
 
@@ -123,8 +116,15 @@ void EvalCache::InsertResult(uint64_t config_hash, uint64_t subset_id,
 }
 
 EvalCacheStats EvalCache::Stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  EvalCacheStats out;
+  out.fold_hits = stats_.fold_hits.load(std::memory_order_relaxed);
+  out.fold_misses = stats_.fold_misses.load(std::memory_order_relaxed);
+  out.result_hits = stats_.result_hits.load(std::memory_order_relaxed);
+  out.result_misses = stats_.result_misses.load(std::memory_order_relaxed);
+  out.insertions = stats_.insertions.load(std::memory_order_relaxed);
+  out.evictions = stats_.evictions.load(std::memory_order_relaxed);
+  out.entries = stats_.entries.load(std::memory_order_relaxed);
+  return out;
 }
 
 void EvalCache::Clear() {
@@ -133,8 +133,13 @@ void EvalCache::Clear() {
     shard->lru.clear();
     shard->index.clear();
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  stats_ = EvalCacheStats{};
+  stats_.fold_hits.store(0, std::memory_order_relaxed);
+  stats_.fold_misses.store(0, std::memory_order_relaxed);
+  stats_.result_hits.store(0, std::memory_order_relaxed);
+  stats_.result_misses.store(0, std::memory_order_relaxed);
+  stats_.insertions.store(0, std::memory_order_relaxed);
+  stats_.evictions.store(0, std::memory_order_relaxed);
+  stats_.entries.store(0, std::memory_order_relaxed);
 }
 
 Result<EvalResult> CachingStrategy::Evaluate(const Configuration& config,

@@ -1,6 +1,7 @@
 #ifndef BHPO_HPO_EVAL_CACHE_H_
 #define BHPO_HPO_EVAL_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -91,19 +92,22 @@ class EvalCache {
   EvalCache(const EvalCache&) = delete;
   EvalCache& operator=(const EvalCache&) = delete;
 
-  // Fold-granular entries (StrategyOptions::cache path).
-  std::optional<FoldScore> LookupFold(uint64_t config_hash,
-                                      uint64_t subset_id, uint32_t fold);
+  // Fold-granular entries (StrategyOptions::cache path). A discarded
+  // lookup is always a bug (it still mutates LRU order and the counters),
+  // hence [[nodiscard]].
+  [[nodiscard]] std::optional<FoldScore> LookupFold(uint64_t config_hash,
+                                                    uint64_t subset_id,
+                                                    uint32_t fold);
   void InsertFold(uint64_t config_hash, uint64_t subset_id, uint32_t fold,
                   const FoldScore& value);
 
   // Whole-evaluation entries (CachingStrategy path).
-  std::optional<EvalResult> LookupResult(uint64_t config_hash,
-                                         uint64_t subset_id);
+  [[nodiscard]] std::optional<EvalResult> LookupResult(uint64_t config_hash,
+                                                       uint64_t subset_id);
   void InsertResult(uint64_t config_hash, uint64_t subset_id,
                     const EvalResult& value);
 
-  EvalCacheStats Stats() const;
+  [[nodiscard]] EvalCacheStats Stats() const;
 
   // Drops every entry and resets the counters.
   void Clear();
@@ -148,8 +152,23 @@ class EvalCache {
   size_t per_shard_capacity_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  mutable std::mutex stats_mu_;
-  EvalCacheStats stats_;
+  // Monotonic counters, updated with relaxed atomics: they are
+  // observability only (nothing orders against them), and a shared stats
+  // mutex would serialize every lookup across all shards — the one point
+  // of contention the sharding exists to remove. Stats() reads are
+  // consequently not a consistent snapshot across counters; the totals
+  // are exact once the writers have quiesced (what the tests and the CLI
+  // report path need).
+  struct AtomicStats {
+    std::atomic<size_t> fold_hits{0};
+    std::atomic<size_t> fold_misses{0};
+    std::atomic<size_t> result_hits{0};
+    std::atomic<size_t> result_misses{0};
+    std::atomic<size_t> insertions{0};
+    std::atomic<size_t> evictions{0};
+    std::atomic<size_t> entries{0};
+  };
+  AtomicStats stats_;
 };
 
 // ---------------------------------------------------------------------------

@@ -165,6 +165,8 @@ Result<std::unique_ptr<EnhancedStrategy>> EnhancedStrategy::Create(
   }
   BHPO_ASSIGN_OR_RETURN(Grouping grouping,
                         BuildGrouping(train, grouping_options));
+  // make_unique cannot reach the private constructor; ownership is taken
+  // on the same line. bhpo-lint: allow(raw-new)
   return std::unique_ptr<EnhancedStrategy>(new EnhancedStrategy(
       std::move(grouping), fold_options, scoring, options));
 }

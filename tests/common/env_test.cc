@@ -1,0 +1,72 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace bhpo {
+namespace {
+
+// setenv here is safe: gtest runs these single-threaded, before any
+// library code spins up pool workers.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    setenv(name, value, /*overwrite=*/1);
+  }
+  ~ScopedEnv() { unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(EnvTest, GetEnvReturnsValueOrNullopt) {
+  ScopedEnv guard("BHPO_TEST_ENV_VAR", "hello");
+  EXPECT_EQ(GetEnv("BHPO_TEST_ENV_VAR"), std::optional<std::string>("hello"));
+  EXPECT_FALSE(GetEnv("BHPO_TEST_ENV_VAR_UNSET").has_value());
+}
+
+TEST(EnvTest, GetEnvBoolRecognizedSpellings) {
+  for (const char* truthy : {"1", "on", "true", "yes", "ON", "True", "YES"}) {
+    ScopedEnv guard("BHPO_TEST_ENV_BOOL", truthy);
+    EXPECT_TRUE(GetEnvBool("BHPO_TEST_ENV_BOOL", false)) << truthy;
+  }
+  for (const char* falsy : {"0", "off", "false", "no", "OFF", "False"}) {
+    ScopedEnv guard("BHPO_TEST_ENV_BOOL", falsy);
+    EXPECT_FALSE(GetEnvBool("BHPO_TEST_ENV_BOOL", true)) << falsy;
+  }
+}
+
+TEST(EnvTest, GetEnvBoolFallsBackOnUnsetOrGarbage) {
+  EXPECT_TRUE(GetEnvBool("BHPO_TEST_ENV_BOOL_UNSET", true));
+  EXPECT_FALSE(GetEnvBool("BHPO_TEST_ENV_BOOL_UNSET", false));
+  ScopedEnv guard("BHPO_TEST_ENV_BOOL", "maybe");
+  EXPECT_TRUE(GetEnvBool("BHPO_TEST_ENV_BOOL", true));
+}
+
+TEST(EnvTest, GetEnvIntParsesStrictly) {
+  {
+    ScopedEnv guard("BHPO_TEST_ENV_INT", "42");
+    EXPECT_EQ(GetEnvInt("BHPO_TEST_ENV_INT", 7), 42);
+  }
+  {
+    ScopedEnv guard("BHPO_TEST_ENV_INT", "42x");
+    EXPECT_EQ(GetEnvInt("BHPO_TEST_ENV_INT", 7), 7);
+  }
+  EXPECT_EQ(GetEnvInt("BHPO_TEST_ENV_INT_UNSET", 7), 7);
+}
+
+TEST(EnvTest, ParseLogLevelSpellings) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("Warning"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_FALSE(ParseLogLevel("verbose").has_value());
+  EXPECT_FALSE(ParseLogLevel("").has_value());
+}
+
+}  // namespace
+}  // namespace bhpo

@@ -1,0 +1,38 @@
+// Lint fixture: a file every rule must pass, even classified as a score
+// path. Exercises the look-alikes each matcher must not trip on.
+#include <map>
+#include <memory>
+#include <random>
+#include <vector>
+
+struct Sample {
+  std::map<int, double> ordered_;  // Ordered map: iteration is fine.
+
+  double Sum() const {
+    double total = 0.0;
+    for (const auto& kv : ordered_) total += kv.second;
+    return total;
+  }
+};
+
+inline double Draw(unsigned seed) {
+  std::mt19937 engine(seed);  // Explicitly seeded: fine.
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine);
+}
+
+inline std::unique_ptr<Sample> MakeSample() {
+  int newline = 0;  // "new" inside an identifier.
+  (void)newline;
+  int branding = 0;  // "rand" inside an identifier.
+  (void)branding;
+  return std::make_unique<Sample>();
+}
+
+struct NoCopy {
+  NoCopy(const NoCopy&) = delete;
+  NoCopy& operator=(const NoCopy&) = delete;
+};
+
+// Mentions in text only: std::random_device, new, delete, std::thread.
+const char* kDoc = "rand( time(nullptr) std::thread ::now(";

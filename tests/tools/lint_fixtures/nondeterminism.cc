@@ -1,0 +1,27 @@
+// Lint fixture: nondeterminism primitives. Never compiled — linted only;
+// tests/tools/lint_test.cc asserts the exact rule ids and line numbers.
+#include <random>
+
+void Violations() {
+  std::random_device rd;            // line 6: random-device
+  int a = rand();                   // line 7: libc-rand
+  srand(42);                        // line 8: libc-rand
+  long t = time(nullptr);           // line 9: time-seed
+  std::mt19937 unseeded;            // line 10: unseeded-mt19937
+  std::mt19937_64 also{};           // line 11: unseeded-mt19937
+  std::mt19937 seeded(1234);        // fine: explicitly seeded
+  auto tmp = std::mt19937{};        // line 13: unseeded-mt19937
+  (void)rd; (void)a; (void)t; (void)unseeded; (void)also; (void)seeded;
+  (void)tmp;
+}
+
+void Allowed() {
+  std::random_device rd;  // bhpo-lint: allow(random-device)
+  // bhpo-lint: allow(libc-rand)
+  int b = rand();
+  (void)rd; (void)b;
+}
+
+// Violation text in comments or string literals must never fire:
+// std::random_device rand( time(nullptr) std::mt19937 x;
+const char* kText = "std::random_device rand( time(nullptr)";

@@ -1,0 +1,24 @@
+// Lint fixture: raw new/delete.
+#include <memory>
+
+struct Widget {
+  int x = 0;
+  Widget(const Widget&) = delete;  // `= delete` must not fire raw-delete
+};
+
+inline Widget* Leak() { return new Widget(); }  // line 9: raw-new
+
+inline void Destroy(Widget* w) { delete w; }  // line 11: raw-delete
+
+inline void DestroyArray(int* a) { delete[] a; }  // line 13: raw-delete
+
+inline std::unique_ptr<Widget> Fine() {
+  int newline = 0;  // identifier containing "new": must not fire
+  (void)newline;
+  return std::make_unique<Widget>();
+}
+
+inline Widget* AllowedLeak() {
+  // bhpo-lint: allow(raw-new)
+  return new Widget();
+}

@@ -1,0 +1,17 @@
+// Lint fixture: std::thread outside common/thread_pool.
+#include <thread>
+
+inline void Spawn() {
+  std::thread t([] {});  // line 5: raw-thread
+  t.join();
+}
+
+struct Runner {
+  std::thread worker_;  // line 10: raw-thread
+};
+
+inline void AllowedSpawn() {
+  // bhpo-lint: allow(raw-thread)
+  std::thread t([] {});
+  t.join();
+}

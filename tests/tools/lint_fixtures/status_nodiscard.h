@@ -1,0 +1,24 @@
+// Lint fixture: Status / Result declared without [[nodiscard]].
+#ifndef FIXTURE_STATUS_NODISCARD_H_
+#define FIXTURE_STATUS_NODISCARD_H_
+
+namespace fixture {
+
+class Status {  // line 7: status-nodiscard
+ public:
+  bool ok() const { return true; }
+};
+
+template <typename T>
+class Result {  // line 13: status-nodiscard
+ public:
+  bool ok() const { return true; }
+};
+
+class Status;  // forward declaration: fine
+
+class [[nodiscard]] GoodStatus {};  // properly attributed, different name
+
+}  // namespace fixture
+
+#endif  // FIXTURE_STATUS_NODISCARD_H_

@@ -1,0 +1,35 @@
+// Lint fixture: iteration over unordered containers. Fires only on
+// score-path files (the test forces Options::score_path).
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Model {
+  std::unordered_map<int, double> weights_;
+  std::unordered_set<int> ids_;
+
+  double Sum() const {
+    double total = 0.0;
+    for (const auto& kv : weights_) total += kv.second;  // line 13
+    for (auto it = ids_.begin(); it != ids_.end(); ++it) {  // line 14
+      total += static_cast<double>(*it);
+    }
+    return total;
+  }
+
+  // Keyed lookups are deterministic and fine.
+  double Weight(int k) const { return weights_.at(k); }
+};
+
+inline int AllowedIteration(const std::unordered_set<int>& ids) {
+  int n = 0;
+  // bhpo-lint: allow(unordered-iteration)
+  for (int id : ids) n += id;
+  return n;
+}
+
+inline int OrderedIterationIsFine(const std::vector<int>& v) {
+  int n = 0;
+  for (int x : v) n += x;
+  return n;
+}

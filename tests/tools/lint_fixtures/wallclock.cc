@@ -1,0 +1,16 @@
+// Lint fixture: wall-clock reads. Fires only when linted as a score-path
+// file (the test forces Options::score_path both ways).
+#include <chrono>
+
+double Violations() {
+  auto t0 = std::chrono::steady_clock::now();  // line 6: wallclock-now
+  auto t1 = t0;
+  using Clock = std::chrono::high_resolution_clock;
+  auto t2 = Clock::now();  // line 9: wallclock-now
+  return std::chrono::duration<double>(t2 - t1).count();
+}
+
+double AllowedRead() {
+  // bhpo-lint: allow(wallclock-now)
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,52 @@
+// bhpo_lint: static determinism & concurrency checks over the repo tree.
+//
+//   bhpo_lint [--quiet] [--list-rules] <path>...
+//
+// Walks each path (recursively for directories; .cc/.h files only),
+// applies the rules documented in tools/lint/lint.h, and prints one
+// `file:line: [rule] message` per finding. Exit status: 0 clean, 1 when
+// findings exist, 2 on usage or I/O errors. Suppress a deliberate
+// violation with `// bhpo-lint: allow(<rule>)` on or above the line.
+#include <cstdio>
+
+#include "common/flags.h"
+#include "tools/lint/lint.h"
+
+int main(int argc, char** argv) {
+  bhpo::FlagParser flags(argc, argv);
+  bool list_rules = flags.Has("list-rules");
+  bool quiet = flags.Has("quiet");
+  if (bhpo::Status bad = flags.CheckUnrecognized(); !bad.ok()) {
+    std::fprintf(stderr, "bhpo_lint: %s\n", bad.ToString().c_str());
+    return 2;
+  }
+
+  if (list_rules) {
+    for (const std::string& rule : bhpo::lint::RuleIds()) {
+      std::printf("%s\n", rule.c_str());
+    }
+    return 0;
+  }
+
+  if (flags.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: bhpo_lint [--quiet] [--list-rules] <path>...\n");
+    return 2;
+  }
+
+  bhpo::Result<std::vector<bhpo::lint::Finding>> findings =
+      bhpo::lint::LintTree(flags.positional());
+  if (!findings.ok()) {
+    std::fprintf(stderr, "bhpo_lint: %s\n",
+                 findings.status().ToString().c_str());
+    return 2;
+  }
+
+  for (const bhpo::lint::Finding& finding : *findings) {
+    std::printf("%s\n", bhpo::lint::FormatFinding(finding).c_str());
+  }
+  if (!quiet) {
+    std::fprintf(stderr, "bhpo_lint: %zu finding(s)\n", findings->size());
+  }
+  return findings->empty() ? 0 : 1;
+}
