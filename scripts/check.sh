@@ -10,22 +10,32 @@
 #   4. ASan+UBSan       cache + thread-pool + gather/layout suites
 #   5. TSan             ThreadPool / fold-parallel CV / EvalCache suites and
 #                       the contended stress test under -fsanitize=thread
+#   6. faults           (--faults) the fault-tolerance suites plus the
+#                       FaultSmoke strategies re-run under a 30% mixed-fault
+#                       BHPO_FAULT storm — every bandit must finish and
+#                       report honest fault counters
 #
-# Usage: scripts/check.sh [--fast] [--skip-asan] [--skip-tsan]
+# Usage: scripts/check.sh [--fast] [--skip-asan] [--skip-tsan] [--faults]
 #   --fast       lint + tier-1 only (skips every sanitizer rebuild and tidy)
 #   --skip-asan  skip the ASan pass
 #   --skip-tsan  skip the TSan pass
+#   --faults     also run the dedicated fault-injection pass. Only the
+#                fault-designed suites run under BHPO_FAULT: injecting into
+#                the whole tier-1 run would (by design) break its bit-exact
+#                determinism assertions.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_asan=1
 run_tsan=1
 run_tidy=1
+run_faults=0
 for arg in "$@"; do
   case "$arg" in
     --fast) run_asan=0; run_tsan=0; run_tidy=0 ;;
     --skip-asan) run_asan=0 ;;
     --skip-tsan) run_tsan=0 ;;
+    --faults) run_faults=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -86,6 +96,23 @@ if [[ "$run_tsan" == 1 ]]; then
     -R 'bhpo_tsan_(thread_pool|cv_parallel|eval_cache|stress)'
 else
   echo "== TSan pass skipped =="
+fi
+
+if [[ "$run_faults" == 1 ]]; then
+  echo "== faults: registry/guard/smoke suites + 30% mixed-fault storm =="
+  cmake --build build -j"$jobs" \
+    --target bhpo_fault_test bhpo_hpo_test bhpo_integration_test
+  # Clean run first: the same binaries assert all-zero fault counters when
+  # BHPO_FAULT is unset.
+  ./build/tests/bhpo_fault_test
+  ./build/tests/bhpo_hpo_test --gtest_filter='Checkpoint*:EvalCacheFailure*'
+  ./build/tests/bhpo_integration_test --gtest_filter='CheckpointResume*'
+  # The storm: every strategy completes under a 30% mixed-fault profile on
+  # the global injector and reports non-zero fault counters.
+  BHPO_FAULT='rate=0.3,seed=7' \
+    ./build/tests/bhpo_fault_test --gtest_filter='FaultSmoke*'
+else
+  echo "== fault-injection pass skipped (enable with --faults) =="
 fi
 
 echo "All checks passed."

@@ -1,0 +1,28 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace bhpo {
+
+namespace {
+
+// The one sanctioned wall-clock read outside Stopwatch: everything
+// time-dependent routes through Clock so tests can substitute FakeClock.
+class SteadyClock : public Clock {
+ public:
+  double NowSeconds() const override {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now()  // bhpo-lint: allow(wallclock-now)
+                   .time_since_epoch())
+        .count();
+  }
+};
+
+}  // namespace
+
+const Clock* Clock::Real() {
+  static const SteadyClock kClock;
+  return &kClock;
+}
+
+}  // namespace bhpo

@@ -1,0 +1,51 @@
+#ifndef BHPO_COMMON_CLOCK_H_
+#define BHPO_COMMON_CLOCK_H_
+
+#include <atomic>
+
+namespace bhpo {
+
+// Monotonic time source seam. Production code reads the steady clock
+// through Clock::Real(); anything whose *behaviour* depends on elapsed
+// time (the cross-validation fold deadline, retry backoff accounting)
+// takes a `const Clock*` so tests can drive it with a FakeClock and assert
+// timeout behaviour deterministically, without sleeping.
+//
+// Nothing score-affecting may read the real clock by default: every
+// deadline knob in the library ships disabled (0 = no deadline), so a run
+// that never opts in is a pure function of its seeds. This is the same
+// contract bhpo_lint's wallclock-now rule enforces file-by-file.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Seconds since an arbitrary fixed origin; monotonically non-decreasing.
+  virtual double NowSeconds() const = 0;
+
+  // Process-wide steady_clock-backed instance.
+  static const Clock* Real();
+};
+
+// Manually advanced clock for deterministic timeout tests. Thread-safe:
+// NowSeconds/Advance may race benignly (relaxed atomic), which matches the
+// guarantee a real clock gives concurrent readers.
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(double start_seconds = 0.0) : now_(start_seconds) {}
+
+  double NowSeconds() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+
+  void Advance(double seconds) {
+    now_.store(now_.load(std::memory_order_relaxed) + seconds,
+               std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> now_;
+};
+
+}  // namespace bhpo
+
+#endif  // BHPO_COMMON_CLOCK_H_

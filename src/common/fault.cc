@@ -1,0 +1,212 @@
+#include "common/fault.h"
+
+#include <cstdlib>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace bhpo {
+
+namespace {
+
+// Domain-separation salts so the fire/kind draws are independent.
+constexpr uint64_t kFireSalt = 0x9e3779b97f4a7c15ull;
+constexpr uint64_t kKindSalt = 0xc2b2ae3d27d4eb4full;
+
+// Uniform double in [0, 1) from a mixed 64-bit hash.
+double ToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::optional<FaultPoint> FaultPointFromString(std::string_view name) {
+  if (name == "fit_throw") return FaultPoint::kFitThrow;
+  if (name == "fit_diverge") return FaultPoint::kFitDiverge;
+  if (name == "nan_score") return FaultPoint::kNanScore;
+  if (name == "slow_fold") return FaultPoint::kSlowFold;
+  if (name == "checkpoint_torn_write") {
+    return FaultPoint::kCheckpointTornWrite;
+  }
+  return std::nullopt;
+}
+
+Result<double> ParseUnitDouble(const std::string& text,
+                               const std::string& what) {
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || value < 0.0 || value > 1.0) {
+    return Status::InvalidArgument("BHPO_FAULT: bad " + what + " '" + text +
+                                   "' (want a number in [0, 1])");
+  }
+  return value;
+}
+
+}  // namespace
+
+const char* FaultPointToString(FaultPoint point) {
+  switch (point) {
+    case FaultPoint::kFitThrow:
+      return "fit_throw";
+    case FaultPoint::kFitDiverge:
+      return "fit_diverge";
+    case FaultPoint::kNanScore:
+      return "nan_score";
+    case FaultPoint::kSlowFold:
+      return "slow_fold";
+    case FaultPoint::kCheckpointTornWrite:
+      return "checkpoint_torn_write";
+  }
+  return "unknown";
+}
+
+Result<FaultPlan> ParseFaultSpec(const std::string& spec) {
+  FaultPlan plan;
+  std::string_view stripped = StripWhitespace(spec);
+  if (stripped.empty() || stripped == "off" || stripped == "0") return plan;
+
+  double rate = -1.0;
+  std::array<bool, kNumFaultPoints> selected = {};
+  bool restricted = false;
+
+  for (const std::string& raw : Split(std::string(stripped), ',')) {
+    std::string item(StripWhitespace(raw));
+    if (item.empty()) continue;
+    size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      // Bare number shorthand: a global rate.
+      BHPO_ASSIGN_OR_RETURN(rate, ParseUnitDouble(item, "rate"));
+      continue;
+    }
+    std::string key(StripWhitespace(item.substr(0, eq)));
+    std::string value(StripWhitespace(item.substr(eq + 1)));
+    if (key == "rate") {
+      BHPO_ASSIGN_OR_RETURN(rate, ParseUnitDouble(value, "rate"));
+    } else if (key == "seed") {
+      char* end = nullptr;
+      plan.seed = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("BHPO_FAULT: bad seed '" + value +
+                                       "'");
+      }
+    } else if (key == "permanent") {
+      BHPO_ASSIGN_OR_RETURN(plan.permanent_fraction,
+                            ParseUnitDouble(value, "permanent fraction"));
+    } else if (key == "slow") {
+      char* end = nullptr;
+      plan.slow_fold_seconds = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' ||
+          plan.slow_fold_seconds < 0.0) {
+        return Status::InvalidArgument("BHPO_FAULT: bad slow seconds '" +
+                                       value + "'");
+      }
+    } else if (key == "transient_attempts") {
+      char* end = nullptr;
+      unsigned long attempts = std::strtoul(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || attempts == 0) {
+        return Status::InvalidArgument(
+            "BHPO_FAULT: bad transient_attempts '" + value + "' (want >= 1)");
+      }
+      plan.transient_attempts = static_cast<uint32_t>(attempts);
+    } else if (key == "points") {
+      restricted = true;
+      for (const std::string& name : Split(value, '|')) {
+        std::optional<FaultPoint> point =
+            FaultPointFromString(StripWhitespace(name));
+        if (!point.has_value()) {
+          return Status::InvalidArgument("BHPO_FAULT: unknown point '" +
+                                         name + "'");
+        }
+        selected[static_cast<size_t>(*point)] = true;
+      }
+    } else {
+      return Status::InvalidArgument("BHPO_FAULT: unknown key '" + key +
+                                     "'");
+    }
+  }
+
+  if (rate < 0.0) {
+    return Status::InvalidArgument(
+        "BHPO_FAULT: no rate given (use 'rate=0.3' or a bare number)");
+  }
+  for (size_t p = 0; p < kNumFaultPoints; ++p) {
+    plan.rate[p] = (!restricted || selected[p]) ? rate : 0.0;
+  }
+  plan.enabled = rate > 0.0;
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(plan) {}
+
+FaultKind FaultInjector::Decide(FaultPoint point, uint64_t site,
+                                uint32_t attempt) const {
+  if (!plan_.enabled) return FaultKind::kNone;
+  size_t p = static_cast<size_t>(point);
+  double rate = plan_.rate[p];
+  if (rate <= 0.0) return FaultKind::kNone;
+  // Fire and kind are attempt-independent draws over (seed, point, site):
+  // a permanent fault must fire identically on every attempt, and a
+  // transient one must be the *same* transient fault each time the site is
+  // retried — only then is the whole retry trajectory a pure function of
+  // the plan.
+  uint64_t base = MixSeed(MixSeed(plan_.seed ^ kFireSalt, p + 1), site);
+  if (ToUnit(base) >= rate) return FaultKind::kNone;
+  uint64_t kind = MixSeed(MixSeed(plan_.seed ^ kKindSalt, p + 1), site);
+  if (ToUnit(kind) < plan_.permanent_fraction) return FaultKind::kPermanent;
+  // Transient: clears once the guard has retried past the window.
+  return attempt < plan_.transient_attempts ? FaultKind::kTransient
+                                            : FaultKind::kNone;
+}
+
+FaultKind FaultInjector::Inject(FaultPoint point, uint64_t site,
+                                uint32_t attempt) {
+  FaultKind kind = Decide(point, site, attempt);
+  if (kind == FaultKind::kNone) return kind;
+  size_t p = static_cast<size_t>(point);
+  stats_.injected_by_point[p].fetch_add(1, std::memory_order_relaxed);
+  if (kind == FaultKind::kPermanent) {
+    stats_.permanent.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_.transient.fetch_add(1, std::memory_order_relaxed);
+  }
+  return kind;
+}
+
+FaultStats FaultInjector::Stats() const {
+  FaultStats out;
+  for (size_t p = 0; p < kNumFaultPoints; ++p) {
+    out.injected_by_point[p] =
+        stats_.injected_by_point[p].load(std::memory_order_relaxed);
+  }
+  out.transient = stats_.transient.load(std::memory_order_relaxed);
+  out.permanent = stats_.permanent.load(std::memory_order_relaxed);
+  return out;
+}
+
+FaultInjector* FaultInjector::Global() {
+  static FaultInjector* const kGlobal = [] {
+    FaultPlan plan;
+    if (std::optional<std::string> spec = GetEnv("BHPO_FAULT")) {
+      Result<FaultPlan> parsed = ParseFaultSpec(*spec);
+      if (parsed.ok()) {
+        plan = *parsed;
+      } else {
+        BHPO_LOG(kWarning) << "ignoring malformed BHPO_FAULT: "
+                           << parsed.status().ToString();
+      }
+    }
+    // Leaked singleton: alive for every late injection site during
+    // shutdown. bhpo-lint: allow(raw-new)
+    return new FaultInjector(plan);
+  }();
+  return kGlobal;
+}
+
+FaultKind MaybeInject(FaultInjector* injector, FaultPoint point,
+                      uint64_t site, uint32_t attempt) {
+  if (injector == nullptr) injector = FaultInjector::Global();
+  if (!injector->enabled()) return FaultKind::kNone;
+  return injector->Inject(point, site, attempt);
+}
+
+}  // namespace bhpo

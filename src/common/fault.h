@@ -1,0 +1,143 @@
+#ifndef BHPO_COMMON_FAULT_H_
+#define BHPO_COMMON_FAULT_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+
+namespace bhpo {
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection.
+//
+// A bandit run is only as robust as its worst evaluation: a diverging
+// solver at rung 3, a NaN score leaking into Equation 3, a checkpoint torn
+// by a crash. This registry lets tests and CI *provoke* those failures on
+// purpose, deterministically, so every degradation path in the library is
+// exercised instead of hoped-for.
+//
+// Determinism contract: whether a fault fires at a given site is a pure
+// function of (plan seed, fault point, site id, attempt) — never of wall
+// time, thread scheduling or pool size. Site ids are derived from the same
+// per-evaluation RNG identities the evaluation cache keys on (see
+// hpo/eval_strategy.h), so two runs with the same seeds inject the same
+// faults at the same folds, and a resumed run replays the interrupted
+// run's faults bit-identically.
+//
+// The injector is compiled in always and zero-cost when disabled: every
+// site guards on `enabled()` (one branch on a bool) before doing any
+// hashing. The global instance is configured once, at first use, from the
+// BHPO_FAULT environment variable; library components accept an explicit
+// injector for hermetic tests.
+// ---------------------------------------------------------------------------
+
+// Where a fault can be injected. Keep kNumFaultPoints in sync.
+enum class FaultPoint : uint8_t {
+  kFitThrow = 0,           // Model fit throws an exception.
+  kFitDiverge = 1,         // Model fit returns a non-OK Status.
+  kNanScore = 2,           // Fold scoring yields NaN.
+  kSlowFold = 3,           // Fold takes extra (virtual) seconds.
+  kCheckpointTornWrite = 4,  // Checkpoint write truncated mid-payload.
+};
+inline constexpr size_t kNumFaultPoints = 5;
+
+// Stable lowercase name ("fit_throw", ...) for specs and reports.
+const char* FaultPointToString(FaultPoint point);
+
+// How an injected fault behaves under retry.
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  // Clears after `transient_attempts` retries of the same site: the guard
+  // layer's bounded retry is expected to recover.
+  kTransient = 1,
+  // Fires on every attempt: retries cannot help and the failure may be
+  // memoized (see EvalCache failure semantics).
+  kPermanent = 2,
+};
+
+// A parsed BHPO_FAULT profile.
+struct FaultPlan {
+  bool enabled = false;
+  uint64_t seed = 0;
+  // Per-point injection probability in [0, 1].
+  std::array<double, kNumFaultPoints> rate = {};
+  // Fraction of fired faults that are permanent (rest are transient).
+  double permanent_fraction = 0.25;
+  // Attempts a transient fault keeps firing for before it clears (>= 1).
+  uint32_t transient_attempts = 1;
+  // Virtual seconds one kSlowFold injection adds to a fold's elapsed time.
+  double slow_fold_seconds = 5.0;
+};
+
+// Parses a fault spec into a plan. Grammar (comma-separated, order-free):
+//   ""             / "off"       -> disabled plan
+//   "0.3"          (bare number) -> all points at rate 0.3
+//   "rate=0.3"                   -> all points at rate 0.3
+//   "points=fit_throw|nan_score" -> restrict non-zero rates to these points
+//   "seed=N" "permanent=F" "slow=SECONDS" "transient_attempts=N"
+// Example: "rate=0.3,seed=7,points=fit_throw|fit_diverge|nan_score".
+Result<FaultPlan> ParseFaultSpec(const std::string& spec);
+
+// Monotonic injection counters (since injector construction).
+struct FaultStats {
+  std::array<size_t, kNumFaultPoints> injected_by_point = {};
+  size_t transient = 0;
+  size_t permanent = 0;
+
+  size_t total() const {
+    size_t sum = 0;
+    for (size_t v : injected_by_point) sum += v;
+    return sum;
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan = {});
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  bool enabled() const { return plan_.enabled; }
+  const FaultPlan& plan() const { return plan_; }
+
+  // Pure decision: would this (point, site, attempt) fault? Does not touch
+  // the counters, so callers may probe without skewing reports.
+  FaultKind Decide(FaultPoint point, uint64_t site, uint32_t attempt) const;
+
+  // Decide + count. The injection sites call this form; a non-kNone return
+  // obliges the caller to actually inject the fault.
+  FaultKind Inject(FaultPoint point, uint64_t site, uint32_t attempt);
+
+  double slow_fold_seconds() const { return plan_.slow_fold_seconds; }
+
+  FaultStats Stats() const;
+
+  // Process-wide injector, configured from BHPO_FAULT at first use
+  // (magic-static; see common/env.h for the static-init rationale).
+  // Disabled when the variable is unset; a malformed spec also disables it
+  // (and logs) rather than failing the process.
+  static FaultInjector* Global();
+
+ private:
+  FaultPlan plan_;
+  struct AtomicStats {
+    std::array<std::atomic<size_t>, kNumFaultPoints> injected_by_point = {};
+    std::atomic<size_t> transient{0};
+    std::atomic<size_t> permanent{0};
+  };
+  AtomicStats stats_;
+};
+
+// Convenience for the common call shape: injector may be null (meaning
+// "use the global one"); returns kNone fast when injection is disabled.
+FaultKind MaybeInject(FaultInjector* injector, FaultPoint point,
+                      uint64_t site, uint32_t attempt);
+
+}  // namespace bhpo
+
+#endif  // BHPO_COMMON_FAULT_H_

@@ -21,6 +21,11 @@ enum class StatusCode {
   kIoError,
   kNotImplemented,
   kInternal,
+  // A transient failure: retrying the same operation may succeed (the
+  // fault-tolerance layer's bounded retry targets exactly this code).
+  kUnavailable,
+  // An operation exceeded its deadline (e.g. a CV fold's time budget).
+  kDeadlineExceeded,
 };
 
 // Returns a stable human-readable name such as "InvalidArgument".
@@ -61,10 +66,21 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  // True for failures worth retrying (kUnavailable). Deterministic
+  // failures (diverged solver, bad argument) re-fail identically, so the
+  // guard layer never retries them.
+  bool IsTransient() const { return code_ == StatusCode::kUnavailable; }
 
   // "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -49,14 +49,20 @@ Result<HpoResult> Asha::Optimize(const Dataset& train, Rng* rng) {
   auto run_job = [&](const Configuration& config,
                      size_t rung) -> Status {
     Rng eval_rng = PerEvalRng(eval_root, config, rung_budget[rung], train.n());
+    // Demotable failures become sentinel entries that sink to the bottom of
+    // the rung instead of killing the search.
     BHPO_ASSIGN_OR_RETURN(
         EvalResult eval,
-        strategy_->Evaluate(config, train, rung_budget[rung], &eval_rng));
+        EvaluateOrDemote(strategy_, config, train, rung_budget[rung],
+                         &eval_rng));
     rungs[rung].push_back({config, eval.score, false});
-    result.history.push_back({config, eval.score, eval.budget_used});
+    result.history.push_back(
+        {config, eval.score, eval.budget_used, eval.eval_failed});
     ++result.num_evaluations;
     result.total_instances += eval.budget_used;
-    if (rung == top && (!have_best || eval.score > result.best_score)) {
+    AccumulateFaults(eval, &result.faults);
+    if (rung == top && !eval.eval_failed &&
+        (!have_best || eval.score > result.best_score)) {
       result.best_score = eval.score;
       result.best_config = config;
       have_best = true;

@@ -82,6 +82,11 @@ std::optional<EvalCache::FoldScore> EvalCache::LookupFold(uint64_t config_hash,
   std::optional<Entry> entry = Lookup(Key{config_hash, subset_id, fold});
   const FoldScore* value =
       entry.has_value() ? std::get_if<FoldScore>(&*entry) : nullptr;
+  if (value != nullptr && value->failed && value->transient) {
+    // Transient failures are never replayed: the fold must be re-attempted,
+    // so this lookup counts as a miss.
+    value = nullptr;
+  }
   if (value == nullptr) {
     stats_.fold_misses.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
@@ -158,7 +163,16 @@ Result<EvalResult> CachingStrategy::Evaluate(const Configuration& config,
   }
   BHPO_ASSIGN_OR_RETURN(EvalResult result,
                         inner_->Evaluate(config, train, budget, rng));
-  cache_->InsertResult(config_hash, subset_id, result);
+  // A result containing a transient fold failure is not memoized: serving
+  // it later would replay a failure that a fresh evaluation might clear.
+  bool has_transient = false;
+  for (const FoldOutcome& fold : result.cv.folds) {
+    if (fold.transient_failure || fold.status == FoldStatus::kTimedOut) {
+      has_transient = true;
+      break;
+    }
+  }
+  if (!has_transient) cache_->InsertResult(config_hash, subset_id, result);
   return result;
 }
 

@@ -80,11 +80,17 @@ struct EvalCacheStats {
 
 class EvalCache {
  public:
-  // One memoized CV fold: its score, or the fact that its fit failed
-  // deterministically.
+  // One memoized CV fold: its score, or the fact that its fit failed.
+  // Failure semantics: a permanent failure (failed, !transient) is served
+  // from the cache — re-running it would fail identically. A transient
+  // failure (failed && transient: retry-exhausted Unavailable, timeout) is
+  // never served: LookupFold reports a miss so the caller re-evaluates the
+  // fold. The strategies do not even insert transient failures, but the
+  // lookup-side bypass makes the semantics hold for any producer.
   struct FoldScore {
     double score = 0.0;
     bool failed = false;
+    bool transient = false;
   };
 
   explicit EvalCache(EvalCacheOptions options = {});

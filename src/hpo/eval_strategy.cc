@@ -1,6 +1,8 @@
 #include "hpo/eval_strategy.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "cv/stratified_kfold.h"
@@ -74,7 +76,11 @@ std::vector<bool> InjectCachedFolds(EvalCache* cache, uint64_t config_hash,
 
 // Stores the folds this evaluation actually computed and fills the
 // result's hit/miss counters. Skipped (empty) folds cost nothing and are
-// not cached.
+// not cached. Failure semantics: deterministic failures (permanent fit
+// failures, quarantined non-finite scores) ARE memoized — replaying them is
+// bit-identical and skips a fit that would fail again — but transient
+// failures (retry-exhausted Unavailable, timeouts) are NOT: the next
+// evaluation of this (config, subset) must re-attempt the fold.
 void StoreComputedFolds(EvalCache* cache, uint64_t config_hash,
                         uint64_t subset_id, const std::vector<bool>& injected,
                         EvalResult* result) {
@@ -87,9 +93,26 @@ void StoreComputedFolds(EvalCache* cache, uint64_t config_hash,
       continue;
     }
     ++result->cache_fold_misses;
+    if (folds[f].transient_failure ||
+        folds[f].status == FoldStatus::kTimedOut) {
+      continue;
+    }
     EvalCache::FoldScore value;
-    value.score = folds[f].score;
-    value.failed = folds[f].status == FoldStatus::kFailed;
+    switch (folds[f].status) {
+      case FoldStatus::kScored:
+        value.score = folds[f].score;
+        break;
+      case FoldStatus::kFailed:
+        value.failed = true;
+        break;
+      case FoldStatus::kQuarantined:
+        // Replays as a quarantined fold: CrossValidate re-quarantines any
+        // non-finite precomputed score.
+        value.score = std::numeric_limits<double>::quiet_NaN();
+        break;
+      default:
+        continue;
+    }
     cache->InsertFold(config_hash, subset_id, static_cast<uint32_t>(f),
                       value);
   }
@@ -104,10 +127,11 @@ Result<EvalResult> VanillaStrategy::Evaluate(const Configuration& config,
   size_t b = ClampBudget(budget, train.n(), options_.num_folds);
 
   // Cache identity must capture the PRE-evaluation rng state — everything
-  // below (subset, partition, model seeds) is a pure function of it.
-  uint64_t config_hash = options_.cache ? config.Hash() : 0;
-  uint64_t subset_id =
-      options_.cache ? EvalSubsetId(*rng, budget, train.n()) : 0;
+  // below (subset, partition, model seeds) is a pure function of it. The
+  // subset id doubles as the fault-injection site, so it is computed even
+  // without a cache.
+  uint64_t config_hash = config.Hash();
+  uint64_t subset_id = EvalSubsetId(*rng, budget, train.n());
 
   std::vector<size_t> subset;
   if (b >= train.n()) {
@@ -137,6 +161,9 @@ Result<EvalResult> VanillaStrategy::Evaluate(const Configuration& config,
   CvOptions cv_options;
   cv_options.metric = options_.metric;
   cv_options.pool = options_.cv_pool;
+  cv_options.guard = options_.guard;
+  cv_options.faults = options_.faults;
+  cv_options.fault_site = subset_id;
   std::vector<bool> injected = InjectCachedFolds(
       options_.cache, config_hash, subset_id, folds.num_folds(), &cv_options);
   BHPO_ASSIGN_OR_RETURN(
@@ -182,9 +209,9 @@ Result<EvalResult> EnhancedStrategy::Evaluate(const Configuration& config,
   }
   size_t b = ClampBudget(budget, train.n(), options_.num_folds);
 
-  uint64_t config_hash = options_.cache ? config.Hash() : 0;
-  uint64_t subset_id =
-      options_.cache ? EvalSubsetId(*rng, budget, train.n()) : 0;
+  // Same identity scheme as VanillaStrategy: cache key and fault site.
+  uint64_t config_hash = config.Hash();
+  uint64_t subset_id = EvalSubsetId(*rng, budget, train.n());
 
   std::vector<size_t> subset = b >= train.n()
                                    ? AllIndices(train.n())
@@ -199,6 +226,9 @@ Result<EvalResult> EnhancedStrategy::Evaluate(const Configuration& config,
   CvOptions cv_options;
   cv_options.metric = options_.metric;
   cv_options.pool = options_.cv_pool;
+  cv_options.guard = options_.guard;
+  cv_options.faults = options_.faults;
+  cv_options.fault_site = subset_id;
   std::vector<bool> injected = InjectCachedFolds(
       options_.cache, config_hash, subset_id, folds.num_folds(), &cv_options);
   BHPO_ASSIGN_OR_RETURN(

@@ -34,6 +34,10 @@ struct EvalResult {
   size_t cache_fold_hits = 0;
   size_t cache_fold_misses = 0;
   bool cache_result_hit = false;
+  // Set by the optimizer layer (EvaluateOrDemote) when the whole evaluation
+  // failed and was demoted to the sentinel score instead of aborting the
+  // rung. Strategies themselves never set it.
+  bool eval_failed = false;
 };
 
 // Shared knobs of both strategies.
@@ -52,6 +56,13 @@ struct StrategyOptions {
   // instead of retrained, and fresh folds are inserted after CV. The
   // outcome is bit-identical with the cache on or off. Not owned.
   EvalCache* cache = nullptr;
+  // Per-fold deadline / retry / quarantine policy applied to every
+  // evaluation's CV (see FoldGuardOptions). Defaults are deterministic:
+  // no deadline, transient-only retries.
+  FoldGuardOptions guard;
+  // Fault injection: null = FaultInjector::Global() (BHPO_FAULT-driven,
+  // disabled by default). Tests pass an explicit injector. Not owned.
+  FaultInjector* faults = nullptr;
 };
 
 // How a bandit-based optimizer evaluates one configuration: sample a subset

@@ -55,14 +55,21 @@ Result<HpoResult> Hyperband::Optimize(const Dataset& train, Rng* rng) {
       for (size_t c = 0; c < configs.size(); ++c) {
         const EvalResult& eval = evals[c];
         scores[c] = eval.score;
-        sampler_->Observe(configs[c], eval.score, eval.budget_used);
-        result.history.push_back({configs[c], eval.score, eval.budget_used});
+        // A demoted evaluation's sentinel score must not feed the sampler's
+        // model (BOHB's KDE would learn from a fake -inf observation).
+        if (!eval.eval_failed) {
+          sampler_->Observe(configs[c], eval.score, eval.budget_used);
+        }
+        result.history.push_back(
+            {configs[c], eval.score, eval.budget_used, eval.eval_failed});
         ++result.num_evaluations;
         result.total_instances += eval.budget_used;
+        AccumulateFaults(eval, &result.faults);
 
         // Every bracket tops out at budget R, and only those evaluations
-        // are comparable across brackets.
-        if (budget == big_r &&
+        // are comparable across brackets. Demoted evaluations never become
+        // the winner: their sentinel carries no information.
+        if (budget == big_r && !eval.eval_failed &&
             (!have_best || eval.score > result.best_score)) {
           result.best_score = eval.score;
           result.best_config = configs[c];

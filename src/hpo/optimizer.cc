@@ -1,10 +1,54 @@
 #include "hpo/optimizer.h"
 
+#include <limits>
 #include <memory>
 
+#include "common/logging.h"
 #include "ml/mlp.h"
 
 namespace bhpo {
+
+bool IsDemotableEvalError(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInternal:
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kIoError:
+    case StatusCode::kFailedPrecondition:
+      return true;
+    default:
+      return false;
+  }
+}
+
+EvalResult DemotedEvalResult() {
+  EvalResult out;
+  out.score = -std::numeric_limits<double>::infinity();
+  out.eval_failed = true;
+  return out;
+}
+
+Result<EvalResult> EvaluateOrDemote(EvalStrategy* strategy,
+                                    const Configuration& config,
+                                    const Dataset& train, size_t budget,
+                                    Rng* rng) {
+  Result<EvalResult> result = strategy->Evaluate(config, train, budget, rng);
+  if (result.ok()) return result;
+  if (!IsDemotableEvalError(result.status())) return result.status();
+  BHPO_LOG(kWarning) << "evaluation of " << config.ToString()
+                     << " demoted to sentinel score: "
+                     << result.status().ToString();
+  return DemotedEvalResult();
+}
+
+void AccumulateFaults(const EvalResult& eval, FaultReport* report) {
+  if (eval.eval_failed) ++report->failed_evals;
+  report->failed_folds += eval.cv.failed_folds;
+  report->quarantined_folds += eval.cv.quarantined_folds;
+  report->timed_out_folds += eval.cv.timed_out_folds;
+  report->fold_retries += eval.cv.fold_retries;
+  report->injected_faults += eval.cv.injected_faults;
+}
 
 Result<FinalEvaluation> EvaluateFinalConfig(const Configuration& config,
                                             const Dataset& train,

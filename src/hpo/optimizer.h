@@ -16,6 +16,29 @@ struct EvaluationRecord {
   Configuration config;
   double score = 0.0;
   size_t budget = 0;
+  // The evaluation was demoted to the sentinel score (-inf) because it
+  // failed outright — the halving operation drops it instead of aborting.
+  bool eval_failed = false;
+};
+
+// Per-run fault-tolerance accounting: every degradation the run absorbed
+// instead of aborting. All zero on a clean run.
+struct FaultReport {
+  // Whole evaluations demoted to the sentinel score.
+  size_t failed_evals = 0;
+  // Folds that produced no usable score (fit failures + quarantines +
+  // timeouts), and the quarantine/timeout breakdown.
+  size_t failed_folds = 0;
+  size_t quarantined_folds = 0;
+  size_t timed_out_folds = 0;
+  // Retry attempts spent on transient fold failures.
+  size_t fold_retries = 0;
+  // Faults the injector actually fired (0 unless BHPO_FAULT is active).
+  size_t injected_faults = 0;
+
+  size_t total_degradations() const {
+    return failed_evals + failed_folds;
+  }
 };
 
 // The outcome of a hyperparameter search.
@@ -28,6 +51,7 @@ struct HpoResult {
   // cost proxy the bandit methods reason about.
   size_t total_instances = 0;
   std::vector<EvaluationRecord> history;
+  FaultReport faults;
 };
 
 // Common interface of random search, SHA, Hyperband, BOHB and ASHA. An
@@ -55,6 +79,31 @@ Result<FinalEvaluation> EvaluateFinalConfig(const Configuration& config,
                                             const Dataset& test,
                                             EvalMetric metric,
                                             const FactoryOptions& options);
+
+// --- Rung-level graceful degradation -------------------------------------
+// A bandit optimizer must never abort a bracket because one configuration's
+// evaluation blew up: the broken candidate is demoted with a sentinel score
+// and loses every comparison, while genuine caller bugs (invalid argument,
+// unknown hyperparameter) still propagate.
+
+// True for failure codes that describe THIS evaluation going wrong (fit
+// divergence, injected faults, timeouts, IO trouble) rather than the search
+// being misconfigured.
+bool IsDemotableEvalError(const Status& status);
+
+// The sentinel an optimizer records for a demoted evaluation: score = -inf
+// (loses any comparison), eval_failed = true, zero budget consumed.
+EvalResult DemotedEvalResult();
+
+// Evaluate, demoting demotable failures to DemotedEvalResult() instead of
+// propagating them. Non-demotable errors still return their Status.
+Result<EvalResult> EvaluateOrDemote(EvalStrategy* strategy,
+                                    const Configuration& config,
+                                    const Dataset& train, size_t budget,
+                                    Rng* rng);
+
+// Folds one evaluation's degradation counters into a run-level report.
+void AccumulateFaults(const EvalResult& eval, FaultReport* report);
 
 }  // namespace bhpo
 

@@ -65,13 +65,17 @@ Result<HpoResult> Pasha::Optimize(const Dataset& train, Rng* rng) {
 
   auto run_job = [&](const Configuration& config, size_t rung) -> Status {
     Rng eval_rng = PerEvalRng(eval_root, config, rung_budget[rung], train.n());
+    // Same rung-level degradation as ASHA: see asha.cc.
     BHPO_ASSIGN_OR_RETURN(
         EvalResult eval,
-        strategy_->Evaluate(config, train, rung_budget[rung], &eval_rng));
+        EvaluateOrDemote(strategy_, config, train, rung_budget[rung],
+                         &eval_rng));
     rungs[rung].push_back({config, eval.score, false});
-    result.history.push_back({config, eval.score, eval.budget_used});
+    result.history.push_back(
+        {config, eval.score, eval.budget_used, eval.eval_failed});
     ++result.num_evaluations;
     result.total_instances += eval.budget_used;
+    AccumulateFaults(eval, &result.faults);
     if (!have_best || (rung == active_top && eval.score > result.best_score)) {
       result.best_score = eval.score;
       result.best_config = config;

@@ -12,13 +12,17 @@ Result<HpoResult> RandomSearch::Optimize(const Dataset& train, Rng* rng) {
   for (size_t i = 0; i < num_samples_; ++i) {
     Configuration config = space_->Sample(rng);
     Rng eval_rng = PerEvalRng(eval_root, config, train.n(), train.n());
+    // A sample whose evaluation blows up is demoted, not fatal: random
+    // search just moves on to the next draw.
     BHPO_ASSIGN_OR_RETURN(
         EvalResult eval,
-        strategy_->Evaluate(config, train, train.n(), &eval_rng));
-    result.history.push_back({config, eval.score, eval.budget_used});
+        EvaluateOrDemote(strategy_, config, train, train.n(), &eval_rng));
+    result.history.push_back(
+        {config, eval.score, eval.budget_used, eval.eval_failed});
     ++result.num_evaluations;
     result.total_instances += eval.budget_used;
-    if (!have_best || eval.score > result.best_score) {
+    AccumulateFaults(eval, &result.faults);
+    if ((!have_best || eval.score > result.best_score) && !eval.eval_failed) {
       result.best_score = eval.score;
       result.best_config = config;
       have_best = true;

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <optional>
 
+#include "common/logging.h"
+
 namespace bhpo {
 
 std::vector<size_t> TopIndicesByScore(const std::vector<double>& scores,
@@ -37,9 +39,19 @@ Result<std::vector<EvalResult>> EvaluateBatch(
 
   std::vector<EvalResult> results;
   results.reserve(configs.size());
-  for (auto& r : raw) {
+  for (size_t i = 0; i < raw.size(); ++i) {
+    auto& r = raw[i];
     BHPO_CHECK(r.has_value());
-    if (!r->ok()) return r->status();
+    if (!r->ok()) {
+      // Rung-level graceful degradation: a broken candidate is demoted
+      // with a sentinel score instead of aborting the whole bracket.
+      if (!IsDemotableEvalError(r->status())) return r->status();
+      BHPO_LOG(kWarning) << "evaluation of " << configs[i].ToString()
+                         << " demoted to sentinel score: "
+                         << r->status().ToString();
+      results.push_back(DemotedEvalResult());
+      continue;
+    }
     results.push_back(std::move(**r));
   }
   return results;
@@ -49,12 +61,43 @@ Result<HpoResult> SuccessiveHalving::Optimize(const Dataset& train, Rng* rng) {
   if (rng == nullptr) return Status::InvalidArgument("null rng");
 
   HpoResult result;
-  std::vector<Configuration> survivors = candidates_;
+  std::vector<Configuration> survivors;
   size_t total_budget = train.n();  // B = n (Table I).
   double last_best_score = 0.0;
-  // One stream root for the whole run; every evaluation's randomness is
-  // PerEvalRng(root, config, budget) from here on.
-  uint64_t eval_root = rng->engine()();
+  uint64_t eval_root = 0;
+  size_t rungs_completed = 0;
+
+  const CheckpointState* resume = options_.checkpoint.resume;
+  if (resume != nullptr) {
+    if (resume->method != name()) {
+      return Status::InvalidArgument(
+          "checkpoint was written by method '" + resume->method +
+          "', not '" + name() + "'");
+    }
+    if (!options_.checkpoint.run_tag.empty() &&
+        resume->run_tag != options_.checkpoint.run_tag) {
+      return Status::InvalidArgument(
+          "checkpoint run tag '" + resume->run_tag +
+          "' does not match expected '" + options_.checkpoint.run_tag + "'");
+    }
+    // Restoring eval_root (and NOT drawing from rng) is what makes every
+    // remaining evaluation replay the uninterrupted run bit-identically.
+    eval_root = resume->eval_root;
+    rungs_completed = resume->rungs_completed;
+    survivors = resume->survivors;
+    result.history = resume->history;
+    result.num_evaluations = resume->num_evaluations;
+    result.total_instances = resume->total_instances;
+    result.faults = resume->faults;
+  } else {
+    survivors = candidates_;
+    // One stream root for the whole run; every evaluation's randomness is
+    // PerEvalRng(root, config, budget) from here on.
+    eval_root = rng->engine()();
+  }
+  if (survivors.empty()) {
+    return Status::InvalidArgument("checkpoint holds no survivors");
+  }
 
   while (survivors.size() > 1) {
     size_t per_config = std::max<size_t>(1, total_budget / survivors.size());
@@ -66,10 +109,11 @@ Result<HpoResult> SuccessiveHalving::Optimize(const Dataset& train, Rng* rng) {
     std::vector<double> scores(survivors.size());
     for (size_t i = 0; i < survivors.size(); ++i) {
       scores[i] = evals[i].score;
-      result.history.push_back(
-          {survivors[i], evals[i].score, evals[i].budget_used});
+      result.history.push_back({survivors[i], evals[i].score,
+                                evals[i].budget_used, evals[i].eval_failed});
       ++result.num_evaluations;
       result.total_instances += evals[i].budget_used;
+      AccumulateFaults(evals[i], &result.faults);
     }
 
     size_t keep = std::max<size_t>(
@@ -82,21 +126,54 @@ Result<HpoResult> SuccessiveHalving::Optimize(const Dataset& train, Rng* rng) {
     next.reserve(kept.size());
     for (size_t idx : kept) next.push_back(std::move(survivors[idx]));
     survivors = std::move(next);
+
+    ++rungs_completed;
+    if (!options_.checkpoint.path.empty()) {
+      CheckpointState state;
+      state.method = name();
+      state.run_tag = options_.checkpoint.run_tag;
+      state.eval_root = eval_root;
+      state.rungs_completed = rungs_completed;
+      state.survivors = survivors;
+      state.history = result.history;
+      state.num_evaluations = result.num_evaluations;
+      state.total_instances = result.total_instances;
+      state.faults = result.faults;
+      Status saved = SaveCheckpoint(options_.checkpoint.path, state,
+                                    options_.checkpoint.faults);
+      if (!saved.ok()) {
+        // A failed checkpoint write (torn write, full disk) costs resume
+        // granularity, never the run: the previous checkpoint is intact
+        // and the search continues.
+        BHPO_LOG(kWarning) << "checkpoint write failed after rung "
+                           << rungs_completed
+                           << " (run continues): " << saved.ToString();
+      }
+      if (options_.checkpoint.stop_after_rungs > 0 &&
+          rungs_completed >= options_.checkpoint.stop_after_rungs) {
+        // Simulated SIGKILL at the checkpoint boundary (test hook).
+        return Status::DeadlineExceeded(
+            "stopped after rung " + std::to_string(rungs_completed) +
+            " (ShaCheckpointOptions::stop_after_rungs)");
+      }
+    }
   }
 
   result.best_config = survivors.front();
-  if (candidates_.size() == 1) {
+  if (candidates_.size() == 1 && resume == nullptr) {
     // Degenerate space: score the lone candidate at full budget.
     Rng eval_rng =
         PerEvalRng(eval_root, result.best_config, train.n(), train.n());
     BHPO_ASSIGN_OR_RETURN(
         EvalResult eval,
-        strategy_->Evaluate(result.best_config, train, train.n(), &eval_rng));
+        EvaluateOrDemote(strategy_, result.best_config, train, train.n(),
+                         &eval_rng));
     last_best_score = eval.score;
     result.history.push_back(
-        {result.best_config, eval.score, eval.budget_used});
+        {result.best_config, eval.score, eval.budget_used, eval.eval_failed});
     ++result.num_evaluations;
     result.total_instances += eval.budget_used;
+    AccumulateFaults(eval, &result.faults);
   }
 
   // Report the winner's own score from the evaluation record — its

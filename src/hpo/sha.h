@@ -1,12 +1,37 @@
 #ifndef BHPO_HPO_SHA_H_
 #define BHPO_HPO_SHA_H_
 
+#include <string>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "hpo/checkpoint.h"
 #include "hpo/optimizer.h"
 
 namespace bhpo {
+
+// Crash-safe checkpointing for a SuccessiveHalving run. With a non-empty
+// path, the run writes a checkpoint after every completed rung; a run
+// resumed from such a checkpoint reproduces the uninterrupted run's best
+// configuration and history bit-identically (evaluations are pure functions
+// of the restored eval_root — see PerEvalRng).
+struct ShaCheckpointOptions {
+  // Checkpoint file; empty disables checkpointing.
+  std::string path;
+  // Recorded in the checkpoint; resume refuses a checkpoint whose tag
+  // differs from a non-empty tag here. Put the dataset/seed identity in it.
+  std::string run_tag;
+  // Resume from this previously loaded state instead of starting fresh.
+  // Not owned; must outlive Optimize.
+  const CheckpointState* resume = nullptr;
+  // Test hook simulating a SIGKILL at the checkpoint boundary: Optimize
+  // returns DeadlineExceeded right after `stop_after_rungs` rungs have
+  // completed (and their checkpoint write was attempted). 0 = never stop.
+  size_t stop_after_rungs = 0;
+  // Fault injection for checkpoint IO (kCheckpointTornWrite); null =
+  // FaultInjector::Global(). Not owned.
+  FaultInjector* faults = nullptr;
+};
 
 struct ShaOptions {
   // Keep the top 1/eta of the candidates each iteration; 2 = halving, the
@@ -19,6 +44,7 @@ struct ShaOptions {
   // deterministic regardless of thread count — every candidate gets its
   // own forked RNG stream up front. Not owned; may be null.
   ThreadPool* pool = nullptr;
+  ShaCheckpointOptions checkpoint;
 };
 
 // Successive Halving (Jamieson & Talwalkar 2016) with instances as the
@@ -62,6 +88,9 @@ std::vector<size_t> TopIndicesByScore(const std::vector<double>& scores,
 // (config, budget) pair recurs — within a rung, across Hyperband brackets,
 // or across the whole run — which is what the evaluation cache exploits.
 // `eval_root` is drawn once per optimizer run from the master rng.
+// Demotable evaluation failures (IsDemotableEvalError) are converted to
+// DemotedEvalResult() sentinels so one broken candidate never aborts the
+// rung; non-demotable errors (invalid argument) still propagate.
 Result<std::vector<EvalResult>> EvaluateBatch(
     EvalStrategy* strategy, const std::vector<Configuration>& configs,
     const Dataset& train, size_t budget, uint64_t eval_root,

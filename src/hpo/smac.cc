@@ -33,13 +33,18 @@ Result<HpoResult> Smac::Optimize(const Dataset& train, Rng* rng) {
     Rng eval_rng = PerEvalRng(eval_root, config, train.n(), train.n());
     BHPO_ASSIGN_OR_RETURN(
         EvalResult eval,
-        strategy_->Evaluate(config, train, train.n(), &eval_rng));
-    observed_encodings.push_back(space_->Encode(config));
-    observed_scores.push_back(eval.score);
-    result.history.push_back({config, eval.score, eval.budget_used});
+        EvaluateOrDemote(strategy_, config, train, train.n(), &eval_rng));
+    if (!eval.eval_failed) {
+      // The surrogate must not learn from a sentinel -inf observation.
+      observed_encodings.push_back(space_->Encode(config));
+      observed_scores.push_back(eval.score);
+    }
+    result.history.push_back(
+        {config, eval.score, eval.budget_used, eval.eval_failed});
     ++result.num_evaluations;
     result.total_instances += eval.budget_used;
-    if (!have_best || eval.score > result.best_score) {
+    AccumulateFaults(eval, &result.faults);
+    if (!eval.eval_failed && (!have_best || eval.score > result.best_score)) {
       result.best_score = eval.score;
       result.best_config = config;
       have_best = true;

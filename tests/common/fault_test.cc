@@ -1,0 +1,218 @@
+// The fault-injection registry's own contract: spec parsing, pure
+// deterministic decisions, transient-vs-permanent attempt semantics, and
+// the counters the CLI report is built from.
+#include "common/fault.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace bhpo {
+namespace {
+
+TEST(ParseFaultSpecTest, EmptyAndOffDisable) {
+  EXPECT_FALSE(ParseFaultSpec("").value().enabled);
+  EXPECT_FALSE(ParseFaultSpec("off").value().enabled);
+}
+
+TEST(ParseFaultSpecTest, BareNumberSetsAllRates) {
+  FaultPlan plan = ParseFaultSpec("0.3").value();
+  EXPECT_TRUE(plan.enabled);
+  for (size_t p = 0; p < kNumFaultPoints; ++p) {
+    EXPECT_DOUBLE_EQ(plan.rate[p], 0.3) << "point " << p;
+  }
+}
+
+TEST(ParseFaultSpecTest, FullSpecRoundTrips) {
+  FaultPlan plan =
+      ParseFaultSpec(
+          "rate=0.5,seed=42,points=fit_throw|nan_score,permanent=0.75,"
+          "slow=2.5,transient_attempts=3")
+          .value();
+  EXPECT_TRUE(plan.enabled);
+  EXPECT_EQ(plan.seed, 42u);
+  EXPECT_DOUBLE_EQ(plan.rate[static_cast<size_t>(FaultPoint::kFitThrow)], 0.5);
+  EXPECT_DOUBLE_EQ(plan.rate[static_cast<size_t>(FaultPoint::kNanScore)], 0.5);
+  EXPECT_DOUBLE_EQ(plan.rate[static_cast<size_t>(FaultPoint::kFitDiverge)],
+                   0.0);
+  EXPECT_DOUBLE_EQ(plan.rate[static_cast<size_t>(FaultPoint::kSlowFold)], 0.0);
+  EXPECT_DOUBLE_EQ(
+      plan.rate[static_cast<size_t>(FaultPoint::kCheckpointTornWrite)], 0.0);
+  EXPECT_DOUBLE_EQ(plan.permanent_fraction, 0.75);
+  EXPECT_DOUBLE_EQ(plan.slow_fold_seconds, 2.5);
+  EXPECT_EQ(plan.transient_attempts, 3u);
+}
+
+TEST(ParseFaultSpecTest, MalformedSpecsAreErrors) {
+  EXPECT_FALSE(ParseFaultSpec("rate=banana").ok());
+  EXPECT_FALSE(ParseFaultSpec("points=no_such_point").ok());
+  EXPECT_FALSE(ParseFaultSpec("rate=1.5").ok());
+  EXPECT_FALSE(ParseFaultSpec("nonsense").ok());
+}
+
+TEST(FaultPointToStringTest, StableNames) {
+  EXPECT_STREQ(FaultPointToString(FaultPoint::kFitThrow), "fit_throw");
+  EXPECT_STREQ(FaultPointToString(FaultPoint::kFitDiverge), "fit_diverge");
+  EXPECT_STREQ(FaultPointToString(FaultPoint::kNanScore), "nan_score");
+  EXPECT_STREQ(FaultPointToString(FaultPoint::kSlowFold), "slow_fold");
+  EXPECT_STREQ(FaultPointToString(FaultPoint::kCheckpointTornWrite),
+               "checkpoint_torn_write");
+}
+
+TEST(FaultInjectorTest, DisabledInjectorNeverFires) {
+  FaultInjector injector;  // Default plan: disabled.
+  EXPECT_FALSE(injector.enabled());
+  for (uint64_t site = 0; site < 100; ++site) {
+    EXPECT_EQ(injector.Decide(FaultPoint::kFitThrow, site, 0),
+              FaultKind::kNone);
+  }
+  EXPECT_EQ(injector.Stats().total(), 0u);
+}
+
+TEST(FaultInjectorTest, DecisionsArePureFunctions) {
+  FaultPlan plan = ParseFaultSpec("rate=0.5,seed=7").value();
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  for (uint64_t site = 0; site < 500; ++site) {
+    for (uint32_t attempt = 0; attempt < 3; ++attempt) {
+      EXPECT_EQ(a.Decide(FaultPoint::kNanScore, site, attempt),
+                b.Decide(FaultPoint::kNanScore, site, attempt))
+          << "site " << site << " attempt " << attempt;
+      // Decide never mutates: probing twice gives the same answer.
+      EXPECT_EQ(a.Decide(FaultPoint::kNanScore, site, attempt),
+                a.Decide(FaultPoint::kNanScore, site, attempt));
+    }
+  }
+  EXPECT_EQ(a.Stats().total(), 0u);  // Decide does not count.
+}
+
+TEST(FaultInjectorTest, SeedChangesTheFaultSet) {
+  FaultInjector a(ParseFaultSpec("rate=0.5,seed=1").value());
+  FaultInjector b(ParseFaultSpec("rate=0.5,seed=2").value());
+  size_t differ = 0;
+  for (uint64_t site = 0; site < 500; ++site) {
+    if (a.Decide(FaultPoint::kFitThrow, site, 0) !=
+        b.Decide(FaultPoint::kFitThrow, site, 0)) {
+      ++differ;
+    }
+  }
+  EXPECT_GT(differ, 0u);
+}
+
+TEST(FaultInjectorTest, RateIsApproximatelyHonored) {
+  FaultInjector injector(ParseFaultSpec("rate=0.3,seed=11").value());
+  size_t fired = 0;
+  const size_t kSites = 10000;
+  for (uint64_t site = 0; site < kSites; ++site) {
+    if (injector.Decide(FaultPoint::kFitDiverge, site, 0) !=
+        FaultKind::kNone) {
+      ++fired;
+    }
+  }
+  double observed = static_cast<double>(fired) / kSites;
+  EXPECT_NEAR(observed, 0.3, 0.02);
+}
+
+TEST(FaultInjectorTest, TransientFaultsClearAfterConfiguredAttempts) {
+  FaultInjector injector(
+      ParseFaultSpec("rate=0.8,seed=3,permanent=0,transient_attempts=2")
+          .value());
+  bool saw_transient = false;
+  for (uint64_t site = 0; site < 200; ++site) {
+    FaultKind first = injector.Decide(FaultPoint::kFitThrow, site, 0);
+    if (first == FaultKind::kNone) continue;
+    ASSERT_EQ(first, FaultKind::kTransient);  // permanent=0: all transient.
+    saw_transient = true;
+    // Still firing on the second attempt (transient_attempts=2)...
+    EXPECT_EQ(injector.Decide(FaultPoint::kFitThrow, site, 1),
+              FaultKind::kTransient);
+    // ...cleared from the third attempt on: bounded retry recovers.
+    EXPECT_EQ(injector.Decide(FaultPoint::kFitThrow, site, 2),
+              FaultKind::kNone);
+    EXPECT_EQ(injector.Decide(FaultPoint::kFitThrow, site, 3),
+              FaultKind::kNone);
+  }
+  EXPECT_TRUE(saw_transient);
+}
+
+TEST(FaultInjectorTest, PermanentFaultsFireOnEveryAttempt) {
+  FaultInjector injector(
+      ParseFaultSpec("rate=0.8,seed=5,permanent=1").value());
+  bool saw_permanent = false;
+  for (uint64_t site = 0; site < 100; ++site) {
+    FaultKind first = injector.Decide(FaultPoint::kNanScore, site, 0);
+    if (first == FaultKind::kNone) continue;
+    ASSERT_EQ(first, FaultKind::kPermanent);
+    saw_permanent = true;
+    for (uint32_t attempt = 1; attempt < 5; ++attempt) {
+      EXPECT_EQ(injector.Decide(FaultPoint::kNanScore, site, attempt),
+                FaultKind::kPermanent);
+    }
+  }
+  EXPECT_TRUE(saw_permanent);
+}
+
+TEST(FaultInjectorTest, FireAndKindAreAttemptIndependentForPermanents) {
+  // Whether a site faults (and which kind) must not depend on the attempt
+  // number for permanent faults — otherwise a retry could "dodge" a
+  // deterministic failure and break replay.
+  FaultInjector injector(
+      ParseFaultSpec("rate=0.5,seed=13,permanent=0.5").value());
+  for (uint64_t site = 0; site < 300; ++site) {
+    FaultKind first = injector.Decide(FaultPoint::kFitDiverge, site, 0);
+    if (first != FaultKind::kPermanent) continue;
+    for (uint32_t attempt = 1; attempt < 4; ++attempt) {
+      EXPECT_EQ(injector.Decide(FaultPoint::kFitDiverge, site, attempt),
+                FaultKind::kPermanent)
+          << "site " << site;
+    }
+  }
+}
+
+TEST(FaultInjectorTest, PointsAreIndependentStreams) {
+  FaultInjector injector(ParseFaultSpec("rate=0.5,seed=17").value());
+  size_t differ = 0;
+  for (uint64_t site = 0; site < 500; ++site) {
+    if (injector.Decide(FaultPoint::kFitThrow, site, 0) !=
+        injector.Decide(FaultPoint::kNanScore, site, 0)) {
+      ++differ;
+    }
+  }
+  EXPECT_GT(differ, 0u);
+}
+
+TEST(FaultInjectorTest, InjectCountsDecideDoesNot) {
+  FaultInjector injector(ParseFaultSpec("rate=1,seed=1,permanent=1").value());
+  EXPECT_EQ(injector.Decide(FaultPoint::kSlowFold, 42, 0),
+            FaultKind::kPermanent);
+  EXPECT_EQ(injector.Stats().total(), 0u);
+  EXPECT_EQ(injector.Inject(FaultPoint::kSlowFold, 42, 0),
+            FaultKind::kPermanent);
+  FaultStats stats = injector.Stats();
+  EXPECT_EQ(stats.total(), 1u);
+  EXPECT_EQ(
+      stats.injected_by_point[static_cast<size_t>(FaultPoint::kSlowFold)], 1u);
+  EXPECT_EQ(stats.permanent, 1u);
+  EXPECT_EQ(stats.transient, 0u);
+}
+
+TEST(MaybeInjectTest, NullInjectorUsesGlobalWhichIsOffByDefault) {
+  // The test binary is run without BHPO_FAULT (the bhpo_faults_smoke ctest
+  // variant only sets it for --gtest_filter=FaultSmoke*), so the global
+  // injector stays disabled here and MaybeInject(null, ...) is a no-op.
+  if (FaultInjector::Global()->enabled()) {
+    GTEST_SKIP() << "BHPO_FAULT active in this environment";
+  }
+  EXPECT_EQ(MaybeInject(nullptr, FaultPoint::kFitThrow, 1, 0),
+            FaultKind::kNone);
+}
+
+TEST(MaybeInjectTest, ExplicitInjectorWins) {
+  FaultInjector injector(ParseFaultSpec("rate=1,seed=9,permanent=1").value());
+  EXPECT_EQ(MaybeInject(&injector, FaultPoint::kFitThrow, 1, 0),
+            FaultKind::kPermanent);
+}
+
+}  // namespace
+}  // namespace bhpo

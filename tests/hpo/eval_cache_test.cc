@@ -1,10 +1,13 @@
 #include "hpo/eval_cache.h"
 
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/fault.h"
 #include "common/gather.h"
 #include "common/thread_pool.h"
 #include "data/synthetic.h"
@@ -488,6 +491,189 @@ TEST(CacheTransparencyTest, BohbPool1) {
 
 TEST(CacheTransparencyTest, BohbPool8) {
   CheckCacheTransparency(Method::kBohb, 8, "bohb/pool8");
+}
+
+// ---------------------------------------------------------------------------
+// Failure semantics: permanent failures are memoized (re-running them would
+// fail identically), transient failures are not (a retry may succeed) —
+// at the raw store, the fold-cache path and the CachingStrategy decorator.
+// ---------------------------------------------------------------------------
+
+TEST(EvalCacheFailureTest, TransientFailedFoldEntryIsAMiss) {
+  EvalCache cache;
+  cache.InsertFold(1, 2, 0, {0.0, true, /*transient=*/true});
+  // Lookup-side bypass: even an inserted transient failure is never served.
+  EXPECT_FALSE(cache.LookupFold(1, 2, 0).has_value());
+
+  cache.InsertFold(1, 2, 1, {0.0, true, /*transient=*/false});
+  std::optional<EvalCache::FoldScore> hit = cache.LookupFold(1, 2, 1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->failed);
+}
+
+Dataset FailureData() {
+  BlobsSpec spec;
+  spec.n = 80;
+  spec.num_features = 4;
+  spec.num_classes = 2;
+  spec.seed = 21;
+  return MakeBlobs(spec).value().Standardized();
+}
+
+// One deterministic evaluation (fixed eval root / config / budget) through
+// a VanillaStrategy wired to `cache` and `faults`, with retries disabled so
+// a transient fault immediately becomes a transient fold failure.
+EvalResult EvalWithFaults(const Dataset& data, EvalCache* cache,
+                          FaultInjector* faults) {
+  Configuration config;
+  config.Set("hidden_layer_sizes", "(4)");
+  config.Set("learning_rate_init", "0.01");
+
+  StrategyOptions options;
+  options.factory.max_iter = 3;
+  options.cache = cache;
+  options.faults = faults;
+  options.guard.max_retries = 0;
+  VanillaStrategy strategy(options);
+  Rng rng = PerEvalRng(77, config, 40, data.n());
+  return strategy.Evaluate(config, data, 40, &rng).value();
+}
+
+TEST(EvalCacheFailureTest, TransientFoldFailuresAreNeverMemoized) {
+  Dataset data = FailureData();
+  FaultInjector transient(
+      ParseFaultSpec(
+          "rate=1,seed=2,points=fit_throw,permanent=0,transient_attempts=10")
+          .value());
+  FaultInjector clean;  // Disabled: the fault condition has passed.
+
+  EvalCache cache;
+  EvalResult faulted = EvalWithFaults(data, &cache, &transient);
+  EXPECT_EQ(faulted.cv.failed_folds, 5u);
+  for (const FoldOutcome& fold : faulted.cv.folds) {
+    EXPECT_EQ(fold.status, FoldStatus::kFailed);
+    EXPECT_TRUE(fold.transient_failure);
+  }
+  // Nothing was stored: a transient outcome must not be replayable.
+  EXPECT_EQ(cache.Stats().insertions, 0u);
+
+  // Next lookup of the same evaluation re-runs every fold and recovers.
+  EvalResult recovered = EvalWithFaults(data, &cache, &clean);
+  EXPECT_EQ(recovered.cache_fold_hits, 0u);
+  EXPECT_EQ(recovered.cv.failed_folds, 0u);
+
+  // Bit-identical to an evaluation that never saw the fault at all.
+  EvalCache fresh;
+  EvalResult reference = EvalWithFaults(data, &fresh, &clean);
+  EXPECT_EQ(recovered.score, reference.score);
+  ASSERT_EQ(recovered.cv.fold_scores.size(), reference.cv.fold_scores.size());
+  for (size_t f = 0; f < reference.cv.fold_scores.size(); ++f) {
+    EXPECT_EQ(recovered.cv.fold_scores[f], reference.cv.fold_scores[f]);
+  }
+}
+
+TEST(EvalCacheFailureTest, PermanentFoldFailuresAreServedFromCache) {
+  Dataset data = FailureData();
+  FaultInjector permanent(
+      ParseFaultSpec("rate=1,seed=2,points=fit_diverge,permanent=1").value());
+  FaultInjector clean;
+
+  EvalCache cache;
+  EvalResult first = EvalWithFaults(data, &cache, &permanent);
+  EXPECT_EQ(first.cv.failed_folds, 5u);
+  for (const FoldOutcome& fold : first.cv.folds) {
+    EXPECT_EQ(fold.status, FoldStatus::kFailed);
+    EXPECT_FALSE(fold.transient_failure);
+  }
+  EXPECT_EQ(cache.Stats().insertions, 5u);
+
+  // Replayed without re-running the doomed fits: a deterministic failure
+  // is as cacheable as a score.
+  EvalResult replay = EvalWithFaults(data, &cache, &clean);
+  EXPECT_EQ(replay.cache_fold_hits, 5u);
+  EXPECT_EQ(replay.cache_fold_misses, 0u);
+  EXPECT_EQ(replay.cv.failed_folds, 5u);
+  EXPECT_EQ(replay.cv.mean, -std::numeric_limits<double>::infinity());
+}
+
+TEST(EvalCacheFailureTest, QuarantinedFoldsReplayAsQuarantined) {
+  Dataset data = FailureData();
+  FaultInjector nan_scores(
+      ParseFaultSpec("rate=1,seed=2,points=nan_score,permanent=1").value());
+  FaultInjector clean;
+
+  EvalCache cache;
+  EvalResult first = EvalWithFaults(data, &cache, &nan_scores);
+  EXPECT_EQ(first.cv.quarantined_folds, 5u);
+  EXPECT_EQ(cache.Stats().insertions, 5u);
+
+  // The stored NaN is re-quarantined on replay — it reaches neither the
+  // fold_scores vector nor mu/sigma.
+  EvalResult replay = EvalWithFaults(data, &cache, &clean);
+  EXPECT_EQ(replay.cache_fold_hits, 5u);
+  EXPECT_EQ(replay.cv.quarantined_folds, 5u);
+  EXPECT_TRUE(replay.cv.fold_scores.empty());
+  EXPECT_EQ(replay.cv.mean, -std::numeric_limits<double>::infinity());
+  EXPECT_FALSE(std::isnan(replay.score));
+}
+
+TEST(EvalCacheFailureTest, CachingStrategyDoesNotMemoizeTransientFailures) {
+  Dataset data = FailureData();
+  FaultInjector transient(
+      ParseFaultSpec(
+          "rate=1,seed=2,points=fit_throw,permanent=0,transient_attempts=10")
+          .value());
+
+  Configuration config;
+  config.Set("hidden_layer_sizes", "(4)");
+  config.Set("learning_rate_init", "0.01");
+  StrategyOptions options;
+  options.factory.max_iter = 3;
+  options.faults = &transient;
+  options.guard.max_retries = 0;
+  VanillaStrategy inner(options);
+  EvalCache cache;
+  CachingStrategy caching(&inner, &cache);
+
+  Rng first_rng = PerEvalRng(88, config, 40, data.n());
+  EvalResult first = caching.Evaluate(config, data, 40, &first_rng).value();
+  EXPECT_FALSE(first.cache_result_hit);
+  EXPECT_EQ(first.cv.failed_folds, 5u);
+  // The transient-failed result was not stored...
+  EXPECT_EQ(cache.Stats().insertions, 0u);
+
+  // ...so the identical evaluation misses and re-runs the inner strategy.
+  Rng second_rng = PerEvalRng(88, config, 40, data.n());
+  EvalResult second = caching.Evaluate(config, data, 40, &second_rng).value();
+  EXPECT_FALSE(second.cache_result_hit);
+}
+
+TEST(EvalCacheFailureTest, CachingStrategyMemoizesPermanentFailures) {
+  Dataset data = FailureData();
+  FaultInjector permanent(
+      ParseFaultSpec("rate=1,seed=2,points=fit_diverge,permanent=1").value());
+
+  Configuration config;
+  config.Set("hidden_layer_sizes", "(4)");
+  config.Set("learning_rate_init", "0.01");
+  StrategyOptions options;
+  options.factory.max_iter = 3;
+  options.faults = &permanent;
+  options.guard.max_retries = 0;
+  VanillaStrategy inner(options);
+  EvalCache cache;
+  CachingStrategy caching(&inner, &cache);
+
+  Rng first_rng = PerEvalRng(88, config, 40, data.n());
+  EvalResult first = caching.Evaluate(config, data, 40, &first_rng).value();
+  EXPECT_FALSE(first.cache_result_hit);
+  EXPECT_EQ(first.cv.failed_folds, 5u);
+
+  Rng second_rng = PerEvalRng(88, config, 40, data.n());
+  EvalResult second = caching.Evaluate(config, data, 40, &second_rng).value();
+  EXPECT_TRUE(second.cache_result_hit);
+  EXPECT_EQ(second.cv.failed_folds, 5u);
+  EXPECT_EQ(second.score, first.score);
 }
 
 }  // namespace

@@ -1,0 +1,95 @@
+// Equation 3 under partial failure: mu/sigma come from successful folds
+// only, an all-failed outcome scores the -inf sentinel, and a NaN can
+// never leak into s = mu + alpha * beta(gamma) * sigma — a poisoned score
+// would corrupt every comparison the halving operation makes.
+#include "hpo/scoring.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "hpo/beta_weight.h"
+
+namespace bhpo {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+CvOutcome HealthyOutcome() {
+  CvOutcome outcome;
+  outcome.fold_scores = {0.8, 0.9, 0.85};
+  outcome.mean = 0.85;
+  outcome.stddev = 0.040824829046386304;
+  return outcome;
+}
+
+TEST(ScoringTest, VanillaIsTheMean) {
+  ScoringOptions options;
+  EXPECT_DOUBLE_EQ(ScoreOutcome(HealthyOutcome(), 50.0, options), 0.85);
+}
+
+TEST(ScoringTest, Equation3AddsWeightedSigma) {
+  ScoringOptions options;
+  options.use_variance = true;
+  CvOutcome outcome = HealthyOutcome();
+  double expected = outcome.mean + options.alpha *
+                                       BetaWeight(50.0, options.beta_max) *
+                                       outcome.stddev;
+  EXPECT_DOUBLE_EQ(ScoreOutcome(outcome, 50.0, options), expected);
+}
+
+TEST(ScoringTest, AllFoldsFailedScoresTheSentinel) {
+  // CrossValidate reports mean = -inf when no fold produced a usable
+  // score; both metrics must rank such a configuration below any real one.
+  CvOutcome outcome;
+  outcome.mean = -kInf;
+  outcome.failed_folds = 5;
+  ScoringOptions vanilla;
+  EXPECT_EQ(ScoreOutcome(outcome, 50.0, vanilla), -kInf);
+  ScoringOptions eq3;
+  eq3.use_variance = true;
+  EXPECT_EQ(ScoreOutcome(outcome, 50.0, eq3), -kInf);
+}
+
+TEST(ScoringTest, NanMeanBecomesSentinelNotNan) {
+  // Defense in depth: even if a NaN mean reached the scorer, the result is
+  // the orderable sentinel, never NaN (NaN compares false against
+  // everything and would wreck the rung's argmax).
+  CvOutcome outcome;
+  outcome.mean = kNan;
+  for (bool use_variance : {false, true}) {
+    ScoringOptions options;
+    options.use_variance = use_variance;
+    double score = ScoreOutcome(outcome, 50.0, options);
+    EXPECT_FALSE(std::isnan(score));
+    EXPECT_EQ(score, -kInf);
+  }
+}
+
+TEST(ScoringTest, NonFiniteSigmaIsTreatedAsZero) {
+  CvOutcome outcome = HealthyOutcome();
+  outcome.stddev = kNan;
+  ScoringOptions options;
+  options.use_variance = true;
+  // Equation 3 degrades to the plain mean instead of propagating the NaN.
+  EXPECT_DOUBLE_EQ(ScoreOutcome(outcome, 50.0, options), outcome.mean);
+}
+
+TEST(ScoringTest, PartialFailureUsesSurvivingFoldsOnly) {
+  // Two of five folds failed; mu/sigma are over the three survivors. The
+  // score must be finite and independent of how many folds failed.
+  CvOutcome outcome = HealthyOutcome();
+  outcome.failed_folds = 2;
+  outcome.quarantined_folds = 1;
+  ScoringOptions options;
+  options.use_variance = true;
+  double with_failures = ScoreOutcome(outcome, 50.0, options);
+  EXPECT_TRUE(std::isfinite(with_failures));
+  CvOutcome clean = HealthyOutcome();
+  EXPECT_EQ(with_failures, ScoreOutcome(clean, 50.0, options));
+}
+
+}  // namespace
+}  // namespace bhpo

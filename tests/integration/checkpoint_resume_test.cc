@@ -1,0 +1,253 @@
+// Crash-safe checkpoint/resume, end to end: a SHA+ run killed at a
+// checkpoint boundary and resumed must reproduce the uninterrupted run's
+// best configuration, best score and full evaluation history bit-exactly —
+// serial and on an 8-thread pool, with and without a 30% injected fault
+// storm, and even when the kill tore the newest checkpoint mid-write.
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "common/thread_pool.h"
+#include "data/synthetic.h"
+#include "hpo/checkpoint.h"
+#include "hpo/config_space.h"
+#include "hpo/sha.h"
+
+namespace bhpo {
+namespace {
+
+struct Env {
+  Dataset train;
+  std::vector<Configuration> configs;
+  StrategyOptions options;
+};
+
+Env MakeEnv(uint64_t seed) {
+  Env env;
+  BlobsSpec spec;
+  spec.n = 150;
+  spec.num_features = 4;
+  spec.num_classes = 2;
+  spec.clusters_per_class = 2;
+  spec.seed = seed;
+  env.train = MakeBlobs(spec).value().Standardized();
+
+  ConfigSpace space;
+  Status st = space.Add("hidden_layer_sizes", {"(6)", "(10)"});
+  BHPO_CHECK(st.ok());
+  st = space.Add("activation", {"relu", "tanh"});
+  BHPO_CHECK(st.ok());
+  st = space.Add("learning_rate_init", {"0.05", "0.01"});
+  BHPO_CHECK(st.ok());
+  env.configs = space.EnumerateGrid();  // 8 configs -> rungs 8, 4, 2.
+
+  env.options.factory.max_iter = 10;
+  env.options.factory.seed = seed + 1;
+  return env;
+}
+
+// SHA+ (the paper's enhanced strategy) over the env, parameterized by pool
+// size, fault profile and checkpoint wiring. A fresh strategy and injector
+// per run: fault decisions are pure functions of the plan, so two runs
+// with the same spec inject identical faults.
+Result<HpoResult> RunSha(const Env& env, size_t threads,
+                         const std::string& fault_spec,
+                         ShaCheckpointOptions checkpoint) {
+  std::unique_ptr<ThreadPool> pool;
+  std::unique_ptr<FaultInjector> injector;
+
+  StrategyOptions strategy_options = env.options;
+  if (threads > 0) {
+    pool = std::make_unique<ThreadPool>(threads);
+    strategy_options.cv_pool = pool.get();
+  }
+  if (!fault_spec.empty()) {
+    injector =
+        std::make_unique<FaultInjector>(ParseFaultSpec(fault_spec).value());
+    strategy_options.faults = injector.get();
+  }
+
+  GroupingOptions grouping;
+  grouping.seed = 3;
+  ScoringOptions scoring;
+  scoring.use_variance = true;
+  auto strategy = EnhancedStrategy::Create(env.train, grouping,
+                                           GenFoldsOptions(), scoring,
+                                           strategy_options)
+                      .value();
+
+  ShaOptions sha_options;
+  sha_options.pool = pool.get();
+  sha_options.checkpoint = std::move(checkpoint);
+  SuccessiveHalving sha(env.configs, strategy.get(), sha_options);
+  Rng rng(42);  // Same outer seed everywhere: eval_root must match.
+  return sha.Optimize(env.train, &rng);
+}
+
+// Bit-exact comparison of two search outcomes — the resume contract.
+void ExpectIdenticalResults(const HpoResult& a, const HpoResult& b) {
+  EXPECT_TRUE(a.best_config == b.best_config)
+      << a.best_config.ToString() << " vs " << b.best_config.ToString();
+  EXPECT_EQ(a.best_score, b.best_score);  // Bit-exact, not NEAR.
+  EXPECT_EQ(a.num_evaluations, b.num_evaluations);
+  EXPECT_EQ(a.total_instances, b.total_instances);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_TRUE(a.history[i].config == b.history[i].config) << "eval " << i;
+    EXPECT_EQ(a.history[i].score, b.history[i].score) << "eval " << i;
+    EXPECT_EQ(a.history[i].budget, b.history[i].budget) << "eval " << i;
+    EXPECT_EQ(a.history[i].eval_failed, b.history[i].eval_failed)
+        << "eval " << i;
+  }
+  EXPECT_EQ(a.faults.failed_evals, b.faults.failed_evals);
+  EXPECT_EQ(a.faults.failed_folds, b.faults.failed_folds);
+  EXPECT_EQ(a.faults.quarantined_folds, b.faults.quarantined_folds);
+  EXPECT_EQ(a.faults.timed_out_folds, b.faults.timed_out_folds);
+  EXPECT_EQ(a.faults.fold_retries, b.faults.fold_retries);
+  EXPECT_EQ(a.faults.injected_faults, b.faults.injected_faults);
+}
+
+// Kill the run right after rung `stop_after` (its checkpoint is on disk),
+// then resume from that checkpoint and run to completion.
+HpoResult KillAndResume(const Env& env, size_t threads,
+                        const std::string& fault_spec,
+                        const std::string& path, size_t stop_after) {
+  ShaCheckpointOptions first;
+  first.path = path;
+  first.run_tag = "ckpt-resume-test";
+  first.stop_after_rungs = stop_after;
+  Result<HpoResult> killed = RunSha(env, threads, fault_spec, first);
+  EXPECT_FALSE(killed.ok());  // The simulated SIGKILL.
+  EXPECT_EQ(killed.status().code(), StatusCode::kDeadlineExceeded);
+
+  CheckpointState state = LoadCheckpoint(path).value();
+  EXPECT_EQ(state.method, "sha");
+  EXPECT_EQ(state.rungs_completed, stop_after);
+
+  ShaCheckpointOptions second;
+  second.path = path;
+  second.run_tag = "ckpt-resume-test";
+  second.resume = &state;
+  return RunSha(env, threads, fault_spec, second).value();
+}
+
+TEST(CheckpointResumeTest, ResumedRunIsBitIdenticalCleanSerialAndPool8) {
+  Env env = MakeEnv(7);
+  for (size_t threads : {size_t{1}, size_t{8}}) {
+    SCOPED_TRACE(std::to_string(threads) + " threads");
+    HpoResult uninterrupted = RunSha(env, threads, "", {}).value();
+    std::string path = ::testing::TempDir() + "/resume_clean_" +
+                       std::to_string(threads) + ".ckpt";
+    HpoResult resumed = KillAndResume(env, threads, "", path, 1);
+    ExpectIdenticalResults(uninterrupted, resumed);
+  }
+}
+
+TEST(CheckpointResumeTest, ResumedRunIsBitIdenticalUnderFaultStorm) {
+  // 30% mixed faults: the interrupted run absorbed retries, quarantines
+  // and demotions before the kill — the resumed run must replay the
+  // remaining rungs' faults identically, not just the clean parts.
+  Env env = MakeEnv(8);
+  const std::string faults = "rate=0.3,seed=7";
+  for (size_t threads : {size_t{1}, size_t{8}}) {
+    SCOPED_TRACE(std::to_string(threads) + " threads");
+    HpoResult uninterrupted = RunSha(env, threads, faults, {}).value();
+    std::string path = ::testing::TempDir() + "/resume_faults_" +
+                       std::to_string(threads) + ".ckpt";
+    HpoResult resumed = KillAndResume(env, threads, faults, path, 1);
+    ExpectIdenticalResults(uninterrupted, resumed);
+    // The storm actually happened on both sides.
+    EXPECT_GT(uninterrupted.faults.injected_faults, 0u);
+  }
+}
+
+TEST(CheckpointResumeTest, ResumeFromLaterRungAlsoIdentical) {
+  Env env = MakeEnv(9);
+  HpoResult uninterrupted = RunSha(env, 1, "", {}).value();
+  std::string path = ::testing::TempDir() + "/resume_rung2.ckpt";
+  HpoResult resumed = KillAndResume(env, 1, "", path, 2);
+  ExpectIdenticalResults(uninterrupted, resumed);
+}
+
+TEST(CheckpointResumeTest, TornWriteFallsBackToPreviousCheckpoint) {
+  Env env = MakeEnv(10);
+  HpoResult uninterrupted = RunSha(env, 1, "", {}).value();
+
+  std::string path = ::testing::TempDir() + "/resume_torn.ckpt";
+  // Phase 1: clean write of the rung-1 checkpoint, then kill.
+  ShaCheckpointOptions first;
+  first.path = path;
+  first.run_tag = "torn-test";
+  first.stop_after_rungs = 1;
+  ASSERT_EQ(RunSha(env, 1, "", first).status().code(),
+            StatusCode::kDeadlineExceeded);
+  CheckpointState rung1 = LoadCheckpoint(path).value();
+  ASSERT_EQ(rung1.rungs_completed, 1u);
+
+  // Phase 2: resume, but every checkpoint write is torn mid-payload (the
+  // crash hits during the write). The run itself proceeds — a failed
+  // checkpoint write costs resume granularity, never the run — and is
+  // killed after rung 2.
+  FaultInjector torn_writer(
+      ParseFaultSpec("rate=1,seed=1,points=checkpoint_torn_write,permanent=1")
+          .value());
+  ShaCheckpointOptions second;
+  second.path = path;
+  second.run_tag = "torn-test";
+  second.resume = &rung1;
+  second.stop_after_rungs = 2;
+  second.faults = &torn_writer;
+  ASSERT_EQ(RunSha(env, 1, "", second).status().code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_GT(torn_writer.Stats().total(), 0u);
+
+  // The torn rung-2 write never replaced the rung-1 file: it still loads,
+  // still says rung 1.
+  CheckpointState after_torn = LoadCheckpoint(path).value();
+  EXPECT_EQ(after_torn.rungs_completed, 1u);
+
+  // Phase 3: resume from the surviving rung-1 checkpoint. Replaying rung 2
+  // (already executed once, then lost) is pure re-execution, so the final
+  // result is still bit-identical to the uninterrupted run.
+  ShaCheckpointOptions third;
+  third.path = path;
+  third.run_tag = "torn-test";
+  third.resume = &after_torn;
+  HpoResult resumed = RunSha(env, 1, "", third).value();
+  ExpectIdenticalResults(uninterrupted, resumed);
+}
+
+TEST(CheckpointResumeTest, RunTagMismatchIsRejected) {
+  Env env = MakeEnv(11);
+  std::string path = ::testing::TempDir() + "/resume_tag.ckpt";
+  ShaCheckpointOptions first;
+  first.path = path;
+  first.run_tag = "dataset-A|seed=1";
+  first.stop_after_rungs = 1;
+  ASSERT_FALSE(RunSha(env, 1, "", first).ok());
+
+  CheckpointState state = LoadCheckpoint(path).value();
+  ShaCheckpointOptions second;
+  second.resume = &state;
+  second.run_tag = "dataset-B|seed=2";  // Different dataset/seed identity.
+  Result<HpoResult> resumed = RunSha(env, 1, "", second);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointResumeTest, MethodMismatchIsRejected) {
+  Env env = MakeEnv(12);
+  CheckpointState state;
+  state.method = "hyperband";  // Not a SHA checkpoint.
+  state.survivors = env.configs;
+  ShaCheckpointOptions checkpoint;
+  checkpoint.resume = &state;
+  Result<HpoResult> resumed = RunSha(env, 1, "", checkpoint);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace bhpo

@@ -1,0 +1,40 @@
+// Lint fixture: catch-all blocks that swallow exceptions.
+
+inline void Swallow() {
+  try {
+    throw 1;
+  } catch (...) {
+  }
+}
+
+inline void SwallowWithOnlyComment() {
+  try {
+    throw 2;
+  } catch (...) {
+    // deliberately ignored — a comment is not handling
+  }
+}
+
+inline void Rethrows() {
+  try {
+    throw 3;
+  } catch (...) {
+    throw;
+  }
+}
+
+inline int ConvertsToSentinel() {
+  try {
+    throw 4;
+  } catch (...) {
+    return -1;
+  }
+  return 0;
+}
+
+inline void Allowed() {
+  try {
+    throw 5;
+  } catch (...) {  // bhpo-lint: allow(swallowed-catch)
+  }
+}

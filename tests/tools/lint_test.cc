@@ -105,6 +105,17 @@ TEST(LintFixtureTest, RawThread) {
             (std::vector<RuleLine>{{"raw-thread", 5}, {"raw-thread", 10}}));
 }
 
+TEST(LintFixtureTest, SwallowedCatch) {
+  std::vector<Finding> findings = LintSource("fixture/swallowed_catch.cc",
+                                             ReadFixture("swallowed_catch.cc"));
+  // The rethrowing, returning, and allow-annotated catch-alls stay silent;
+  // the empty body and the comment-only body (comments are blanked before
+  // matching) both fire.
+  EXPECT_EQ(RuleLines(findings),
+            (std::vector<RuleLine>{{"swallowed-catch", 6},
+                                   {"swallowed-catch", 13}}));
+}
+
 TEST(LintFixtureTest, CleanFixtureHasNoFindings) {
   Options score;
   score.score_path = true;  // Strictest classification.
@@ -117,7 +128,7 @@ TEST(LintFixtureTest, EveryFixtureRuleIsRegistered) {
   for (const char* rule :
        {"random-device", "libc-rand", "time-seed", "wallclock-now",
         "unseeded-mt19937", "unordered-iteration", "status-nodiscard",
-        "raw-new", "raw-delete", "raw-thread"}) {
+        "raw-new", "raw-delete", "raw-thread", "swallowed-catch"}) {
     EXPECT_NE(std::find(ids.begin(), ids.end(), rule), ids.end())
         << rule << " missing from RuleIds()";
   }

@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "common/fault.h"
 #include "common/flags.h"
 #include "common/stopwatch.h"
 #include "data/csv_io.h"
@@ -55,6 +56,17 @@ cache options:
   --cache N              evaluation-cache capacity in entries; repeated
                          (config, budget) evaluations replay cached fold
                          scores bit-exactly. 0 disables (default: 1048576)
+
+fault-tolerance options:
+  --fault SPEC           deterministic fault-injection profile, e.g.
+                         "rate=0.3,seed=7" or "off"; overrides the
+                         BHPO_FAULT environment variable (see
+                         common/fault.h for the grammar)
+  --checkpoint PATH      write a crash-safe checkpoint after every rung
+                         (sha / sha+ only)
+  --resume               continue from the checkpoint at --checkpoint PATH;
+                         the resumed run reproduces the uninterrupted run's
+                         best configuration and history bit-identically
 
 search options:
   --method M             random | sha | sha+ | hb | hb+ | bohb | bohb+ |
@@ -188,6 +200,37 @@ Status RunCli(int argc, char** argv) {
   // decorator below. Both layers share the one cache and its counters.
   options.cache = cache.get();
 
+  // ---- fault tolerance ----
+  // --fault builds an explicit injector that overrides the BHPO_FAULT
+  // environment variable; without it, the null injector pointers below
+  // defer to FaultInjector::Global().
+  std::unique_ptr<FaultInjector> fault_injector;
+  std::string fault_spec = flags.GetString("fault", "");
+  if (!fault_spec.empty()) {
+    BHPO_ASSIGN_OR_RETURN(FaultPlan plan, ParseFaultSpec(fault_spec));
+    fault_injector = std::make_unique<FaultInjector>(plan);
+  }
+  options.faults = fault_injector.get();
+
+  std::string checkpoint_path = flags.GetString("checkpoint", "");
+  bool resume = flags.Has("resume");
+  if (resume && checkpoint_path.empty()) {
+    return Status::InvalidArgument("--resume requires --checkpoint PATH");
+  }
+  if (!checkpoint_path.empty() && base != "sha") {
+    return Status::InvalidArgument(
+        "--checkpoint is supported for --method sha / sha+ only (got '" +
+        method + "')");
+  }
+  CheckpointState resume_state;
+  if (resume) {
+    BHPO_ASSIGN_OR_RETURN(resume_state, LoadCheckpoint(checkpoint_path));
+    std::printf("resuming from %s: %zu rungs done, %zu survivors, %zu "
+                "evaluations\n",
+                checkpoint_path.c_str(), resume_state.rungs_completed,
+                resume_state.survivors.size(), resume_state.num_evaluations);
+  }
+
   std::unique_ptr<EvalStrategy> strategy;
   if (enhanced) {
     GroupingOptions grouping;
@@ -225,6 +268,15 @@ Status RunCli(int argc, char** argv) {
   RandomConfigSampler hb_sampler(&space);
   ShaOptions sha_options;
   sha_options.pool = pool.get();
+  sha_options.checkpoint.path = checkpoint_path;
+  // The tag ties the checkpoint to this (method, data, seed) identity so a
+  // resume against a different run fails loudly instead of silently mixing
+  // histories.
+  sha_options.checkpoint.run_tag =
+      method + "|" + (synthetic.empty() ? data_path : synthetic) +
+      "|seed=" + std::to_string(seed);
+  if (resume) sha_options.checkpoint.resume = &resume_state;
+  sha_options.checkpoint.faults = fault_injector.get();
   HyperbandOptions hb_options;
   hb_options.pool = pool.get();
   if (base == "random") {
@@ -271,6 +323,19 @@ Status RunCli(int argc, char** argv) {
               final.train_metric, final.test_metric,
               EvalMetricToString(metric));
   std::printf("search time: %.1fs\n", search_seconds);
+  const FaultReport& faults = result.faults;
+  FaultInjector* active_injector =
+      fault_injector != nullptr ? fault_injector.get()
+                                : FaultInjector::Global();
+  if (active_injector->enabled() || faults.total_degradations() > 0 ||
+      faults.fold_retries > 0) {
+    std::printf(
+        "faults: %zu injected, %zu evals demoted, %zu folds failed "
+        "(%zu quarantined, %zu timed out), %zu retries\n",
+        faults.injected_faults, faults.failed_evals, faults.failed_folds,
+        faults.quarantined_folds, faults.timed_out_folds,
+        faults.fold_retries);
+  }
   EvalCacheStats cache_stats;
   if (cache != nullptr) {
     cache_stats = cache->Stats();
@@ -301,6 +366,18 @@ Status RunCli(int argc, char** argv) {
     std::fprintf(out, "  \"train_metric\": %.17g,\n", final.train_metric);
     std::fprintf(out, "  \"test_metric\": %.17g,\n", final.test_metric);
     std::fprintf(out, "  \"search_seconds\": %.6f,\n", search_seconds);
+    std::fprintf(out, "  \"faults\": {\n");
+    std::fprintf(out, "    \"injection_enabled\": %s,\n",
+                 active_injector->enabled() ? "true" : "false");
+    std::fprintf(out, "    \"injected\": %zu,\n", faults.injected_faults);
+    std::fprintf(out, "    \"failed_evals\": %zu,\n", faults.failed_evals);
+    std::fprintf(out, "    \"failed_folds\": %zu,\n", faults.failed_folds);
+    std::fprintf(out, "    \"quarantined_folds\": %zu,\n",
+                 faults.quarantined_folds);
+    std::fprintf(out, "    \"timed_out_folds\": %zu,\n",
+                 faults.timed_out_folds);
+    std::fprintf(out, "    \"fold_retries\": %zu\n", faults.fold_retries);
+    std::fprintf(out, "  },\n");
     std::fprintf(out, "  \"cache\": {\n");
     std::fprintf(out, "    \"enabled\": %s,\n",
                  cache != nullptr ? "true" : "false");

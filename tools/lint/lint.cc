@@ -404,6 +404,42 @@ void CheckRawMemoryAndThreads(const RuleContext& ctx) {
   }
 }
 
+// Flags `catch (...)` blocks that swallow the exception: a catch-all whose
+// body neither rethrows, returns (converting to a Status/sentinel), logs,
+// nor aborts hides real failures from the fault-tolerance layer, which
+// relies on every error surfacing as a Status. Works over the blanked
+// code, so comments inside the body do not count as handling.
+void CheckSwallowedCatch(const RuleContext& ctx) {
+  static const std::regex kCatchAll(R"(catch\s*\(\s*\.\.\.\s*\))");
+  static const std::regex kHandles(
+      R"((^|[^A-Za-z0-9_])(throw|return|BHPO_LOG|Status|FAIL|ADD_FAILURE|abort)([^A-Za-z0-9_]|$))");
+  const std::string& code = ctx.code;
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kCatchAll);
+       it != std::sregex_iterator(); ++it) {
+    size_t match_pos = static_cast<size_t>(it->position());
+    size_t open = code.find('{', match_pos + it->length());
+    if (open == std::string::npos) continue;
+    size_t close = std::string::npos;
+    int depth = 0;
+    for (size_t i = open; i < code.size(); ++i) {
+      if (code[i] == '{') {
+        ++depth;
+      } else if (code[i] == '}' && --depth == 0) {
+        close = i;
+        break;
+      }
+    }
+    if (close == std::string::npos) continue;
+    std::string body = code.substr(open + 1, close - open - 1);
+    if (std::regex_search(body, kHandles)) continue;
+    int lineno = 1 + static_cast<int>(std::count(
+                         code.begin(), code.begin() + match_pos, '\n'));
+    ctx.Emit("swallowed-catch", lineno,
+             "catch (...) swallows the exception; rethrow, convert it to a "
+             "Status, or log it (BHPO_LOG) so the failure stays visible");
+  }
+}
+
 bool HasLintableExtension(const std::filesystem::path& path) {
   std::string ext = path.extension().string();
   return ext == ".cc" || ext == ".h";
@@ -418,6 +454,7 @@ const std::vector<std::string>& RuleIds() {
       "unseeded-mt19937", "unordered-iteration",
       "status-nodiscard", "raw-new",
       "raw-delete",      "raw-thread",
+      "swallowed-catch",
   };
   return kIds;
 }
@@ -443,6 +480,7 @@ std::vector<Finding> LintSource(std::string_view label,
   CheckUnorderedIteration(ctx);
   CheckStatusNodiscard(ctx);
   CheckRawMemoryAndThreads(ctx);
+  CheckSwallowedCatch(ctx);
 
   std::vector<Finding> kept;
   kept.reserve(findings.size());

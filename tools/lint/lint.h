@@ -33,6 +33,8 @@ namespace lint {
 //   raw-new            raw `new` (use make_unique / containers)
 //   raw-delete         raw `delete` (`= delete` is fine)
 //   raw-thread         std::thread outside src/common/thread_pool.*
+//   swallowed-catch    catch (...) whose body neither rethrows, returns,
+//                      logs nor aborts — the exception vanishes
 //
 // Suppression: `// bhpo-lint: allow(rule-a, rule-b)` on the offending
 // line, or on a comment-only line immediately above it. A directory is
